@@ -1,0 +1,239 @@
+package shift
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The benchmarks below regenerate every figure and table of the paper's
+// evaluation at a reduced-but-meaningful scale (QuickOptions with two
+// representative workloads where the full suite is not required), and
+// report the headline metric of each figure via b.ReportMetric. Run the
+// full-scale versions with cmd/shiftsim.
+
+// benchOptions is the common reduced scale.
+func benchOptions() Options {
+	o := QuickOptions()
+	o.Workloads = []string{"OLTP Oracle", "Web Search"}
+	return o
+}
+
+// BenchmarkFigure1 regenerates the speedup-vs-miss-elimination study
+// (paper: linear trend, 31% geo-mean speedup at 100%).
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := RunFigure1(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.PerfectGeoMean(), "perfect-speedup")
+	}
+}
+
+// BenchmarkFigure2 regenerates the PIF performance-density scatter
+// (paper: PD gain on Fat-OoO, PD loss on Lean-IO).
+func BenchmarkFigure2(b *testing.B) {
+	o := benchOptions()
+	o.Workloads = []string{"Web Search"}
+	for i := 0; i < b.N; i++ {
+		pd, err := RunPerfDensity(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p := pd.Point(LeanIO, DesignPIF32K); p != nil {
+			b.ReportMetric(p.PD, "pif-leanio-pd")
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the cross-core stream commonality study
+// (paper: >90%, up to 96%).
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := RunFigure3(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.Mean(), "commonality-%")
+	}
+}
+
+// BenchmarkFigure6 regenerates the coverage-vs-history-size curves
+// (paper: SHIFT strictly above PIF; knee at 32K records).
+func BenchmarkFigure6(b *testing.B) {
+	sizes := []int{2048, 8192, 32768, 131072}
+	for i := 0; i < b.N; i++ {
+		fig, err := RunFigure6(benchOptions(), sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.SHIFT[2], "shift-cov-32K-%")
+		b.ReportMetric(fig.PIF[2], "pif-cov-32K-%")
+	}
+}
+
+// BenchmarkFigure7 regenerates covered/uncovered/overpredicted misses
+// (paper averages: SHIFT 81%, PIF_32K 92%, PIF_2K 53%).
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := RunFigure7(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.MeanCovered(DesignSHIFT), "shift-covered-%")
+		b.ReportMetric(fig.MeanCovered(DesignPIF32K), "pif32k-covered-%")
+		b.ReportMetric(fig.MeanCovered(DesignPIF2K), "pif2k-covered-%")
+	}
+}
+
+// BenchmarkFigure8 regenerates the headline performance comparison
+// (paper: SHIFT 19% mean speedup, >90% of PIF_32K's benefit).
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := RunFigure8(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.Geo[DesignSHIFT.String()], "shift-speedup")
+		b.ReportMetric(fig.SHIFTRetainsPIFBenefit(), "benefit-vs-pif")
+	}
+}
+
+// BenchmarkFigure9 regenerates the LLC traffic overhead study
+// (paper: ~6% log + ~7% discard traffic on average).
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := RunFigure9(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.MeanLogTraffic(), "log-traffic-%")
+		b.ReportMetric(fig.MeanDiscard(), "discard-traffic-%")
+	}
+}
+
+// BenchmarkFigure10 regenerates the workload-consolidation study
+// (paper: SHIFT at 95% of PIF_32K's absolute performance).
+func BenchmarkFigure10(b *testing.B) {
+	o := QuickOptions()
+	for i := 0; i < b.N; i++ {
+		fig, err := RunFigure10(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.Geo[DesignSHIFT.String()], "shift-speedup")
+		b.ReportMetric(fig.SHIFTvsPIF32KAbsolute(), "vs-pif32k")
+	}
+}
+
+// BenchmarkPerfDensity regenerates the Section 5.6 PD table
+// (paper: SHIFT beats PIF_32K's PD by 2%/16%/59% across core types).
+func BenchmarkPerfDensity(b *testing.B) {
+	o := benchOptions()
+	o.Workloads = []string{"Web Search"}
+	for i := 0; i < b.N; i++ {
+		pd, err := RunPerfDensity(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pd.SHIFTPDGainOver(DesignPIF32K, LeanIO), "pd-gain-leanio")
+	}
+}
+
+// BenchmarkPower regenerates the Section 5.7 power estimate
+// (paper: <150mW for the 16-core CMP).
+func BenchmarkPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := RunPowerStudy(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(p.MaxMW, "max-mW")
+	}
+}
+
+// BenchmarkStorage regenerates the Section 5.1 storage table (analytic).
+func BenchmarkStorage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := RunStorageReport()
+		b.ReportMetric(r.AreaRatio, "pif/shift-area-ratio")
+	}
+}
+
+// BenchmarkSensitivityRegionSpan ablates the spatial region size
+// (paper Section 4.1: 8 is the tuned value).
+func BenchmarkSensitivityRegionSpan(b *testing.B) {
+	benchSensitivity(b, "region span")
+}
+
+// BenchmarkSensitivityLookahead ablates the stream lookahead
+// (paper Section 4.1: 5 is the tuned value).
+func BenchmarkSensitivityLookahead(b *testing.B) {
+	benchSensitivity(b, "lookahead")
+}
+
+// BenchmarkSensitivitySABCapacity ablates the stream buffer capacity
+// (paper Section 4.1: 12 is the tuned value).
+func BenchmarkSensitivitySABCapacity(b *testing.B) {
+	benchSensitivity(b, "SAB capacity")
+}
+
+// BenchmarkSensitivityStreams ablates the number of stream buffers
+// (paper Section 4.1: 4 streams).
+func BenchmarkSensitivityStreams(b *testing.B) {
+	benchSensitivity(b, "streams")
+}
+
+func benchSensitivity(b *testing.B, param string) {
+	o := benchOptions()
+	o.Workloads = []string{"Web Search"}
+	for i := 0; i < b.N; i++ {
+		s, err := RunSensitivity(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, sp := s.Best(param)
+		b.ReportMetric(float64(v), "best-value")
+		b.ReportMetric(sp, "best-speedup")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed
+// (records simulated per second on the 16-core Table I system).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := DefaultRunConfig("Web Search", DesignSHIFT)
+	cfg.WarmupRecords = 5000
+	cfg.MeasureRecords = 20000
+	b.ResetTimer()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Records
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "records/s")
+}
+
+// Example of regenerating a figure programmatically; also exercises the
+// String renderers under `go test`.
+func ExampleRunStorageReport() {
+	r := RunStorageReport()
+	fmt.Println(r.SHIFTHistoryLines)
+	// Output: 2731
+}
+
+// BenchmarkGeneratorChoice regenerates the Section 6.1 study
+// (paper: no sensitivity to which core records the shared history).
+func BenchmarkGeneratorChoice(b *testing.B) {
+	o := benchOptions()
+	o.Workloads = []string{"Web Search"}
+	for i := 0; i < b.N; i++ {
+		g, err := RunGeneratorStudy(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(g.Spread*100, "speedup-spread-%")
+	}
+}

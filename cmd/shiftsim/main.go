@@ -1,0 +1,157 @@
+// Command shiftsim regenerates the SHIFT paper's figures and tables from
+// the simulator.
+//
+// Usage:
+//
+//	shiftsim -experiment fig8                 # one experiment, full scale
+//	shiftsim -experiment all -quick           # everything, reduced scale
+//	shiftsim -experiment fig7 -workloads "OLTP Oracle,Web Search"
+//	shiftsim -experiment fig6 -sizes 1024,8192,32768
+//
+// Experiments: tableI, fig1, fig2, fig3, fig6, fig7, fig8, fig9, fig10,
+// pd, power, storage, sensitivity, generator, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"shift"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "fig8", "experiment to run (tableI, fig1, fig2, fig3, fig6, fig7, fig8, fig9, fig10, pd, power, storage, sensitivity, generator, all)")
+		workloads  = flag.String("workloads", "", "comma-separated workload subset (default: all seven)")
+		cores      = flag.Int("cores", 16, "number of cores (1-16)")
+		warmup     = flag.Int64("warmup", 0, "warmup records per core (0 = scale default)")
+		measure    = flag.Int64("measure", 0, "measured records per core (0 = scale default)")
+		seed       = flag.Int64("seed", 1, "simulator seed")
+		quick      = flag.Bool("quick", false, "reduced scale (~6x faster)")
+		sizes      = flag.String("sizes", "", "comma-separated aggregate history sizes for fig6")
+		coreType   = flag.String("core", "lean-ooo", "core type: fat-ooo, lean-ooo, lean-io")
+	)
+	flag.Parse()
+
+	opts := shift.DefaultOptions()
+	if *quick {
+		opts = shift.QuickOptions()
+	}
+	opts.Cores = *cores
+	if *warmup > 0 {
+		opts.WarmupRecords = *warmup
+	}
+	if *measure > 0 {
+		opts.MeasureRecords = *measure
+	}
+	opts.Seed = *seed
+	if *workloads != "" {
+		for _, w := range strings.Split(*workloads, ",") {
+			opts.Workloads = append(opts.Workloads, strings.TrimSpace(w))
+		}
+	}
+	switch strings.ToLower(*coreType) {
+	case "fat-ooo":
+		opts.CoreType = shift.FatOoO
+	case "lean-io":
+		opts.CoreType = shift.LeanIO
+	case "lean-ooo":
+		opts.CoreType = shift.LeanOoO
+	default:
+		fail(fmt.Errorf("unknown core type %q", *coreType))
+	}
+
+	var fig6Sizes []int
+	if *sizes != "" {
+		for _, s := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fail(err)
+			}
+			fig6Sizes = append(fig6Sizes, n)
+		}
+	}
+
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = []string{"tableI", "storage", "fig1", "fig2", "fig3", "fig6",
+			"fig7", "fig8", "fig9", "fig10", "pd", "power", "sensitivity", "generator"}
+	}
+	for _, name := range names {
+		start := time.Now()
+		out, err := runOne(name, opts, fig6Sizes)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// runOne dispatches one experiment by name.
+func runOne(name string, opts shift.Options, fig6Sizes []int) (string, error) {
+	switch strings.ToLower(name) {
+	case "tablei":
+		return shift.TableI(), nil
+	case "storage":
+		return shift.RunStorageReport().String(), nil
+	case "fig1":
+		f, err := shift.RunFigure1(opts)
+		return str(f), err
+	case "fig2":
+		pd, err := shift.RunPerfDensity(opts)
+		if err != nil {
+			return "", err
+		}
+		return pd.Figure2(), nil
+	case "fig3":
+		f, err := shift.RunFigure3(opts)
+		return str(f), err
+	case "fig6":
+		f, err := shift.RunFigure6(opts, fig6Sizes)
+		return str(f), err
+	case "fig7":
+		f, err := shift.RunFigure7(opts)
+		return str(f), err
+	case "fig8":
+		f, err := shift.RunFigure8(opts)
+		return str(f), err
+	case "fig9":
+		f, err := shift.RunFigure9(opts)
+		return str(f), err
+	case "fig10":
+		f, err := shift.RunFigure10(opts)
+		return str(f), err
+	case "pd":
+		f, err := shift.RunPerfDensity(opts)
+		return str(f), err
+	case "power":
+		f, err := shift.RunPowerStudy(opts)
+		return str(f), err
+	case "sensitivity":
+		f, err := shift.RunSensitivity(opts)
+		return str(f), err
+	case "generator":
+		f, err := shift.RunGeneratorStudy(opts)
+		return str(f), err
+	default:
+		return "", fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+// str formats a stringer unless the run failed.
+func str(v fmt.Stringer) string {
+	if v == nil {
+		return ""
+	}
+	return v.String()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "shiftsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"shift"
+)
+
+// tinyOpts keeps CLI-dispatch tests fast.
+func tinyOpts() shift.Options {
+	o := shift.QuickOptions()
+	o.Workloads = []string{"Web Search"}
+	o.Cores = 4
+	o.WarmupRecords = 6000
+	o.MeasureRecords = 6000
+	return o
+}
+
+func TestRunOneDispatch(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+	}{
+		{"tableI", "Table I"},
+		{"storage", "Storage"},
+		{"fig3", "Figure 3"},
+		{"fig8", "Figure 8"},
+		{"fig9", "Figure 9"},
+		{"power", "5.7"},
+		{"generator", "6.1"},
+	}
+	for _, c := range cases {
+		out, err := runOne(c.name, tinyOpts(), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !strings.Contains(out, c.want) {
+			t.Errorf("%s output missing %q", c.name, c.want)
+		}
+	}
+}
+
+func TestRunOneFig6Sizes(t *testing.T) {
+	out, err := runOne("fig6", tinyOpts(), []int{1024, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1K") || !strings.Contains(out, "4K") {
+		t.Errorf("fig6 output missing custom sizes:\n%s", out)
+	}
+}
+
+func TestRunOneUnknown(t *testing.T) {
+	if _, err := runOne("nope", tinyOpts(), nil); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

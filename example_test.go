@@ -1,0 +1,82 @@
+package shift_test
+
+import (
+	"fmt"
+
+	"shift"
+)
+
+// The seven Table I server workloads are addressed by name.
+func ExampleWorkloads() {
+	for _, w := range shift.Workloads() {
+		fmt.Println(w)
+	}
+	// Output:
+	// OLTP DB2
+	// OLTP Oracle
+	// DSS Qry 2
+	// DSS Qry 17
+	// Media Streaming
+	// Web Frontend
+	// Web Search
+}
+
+// Design points carry the labels used in the paper's figures.
+func ExampleDesign_String() {
+	for _, d := range shift.FigureDesigns() {
+		fmt.Println(d)
+	}
+	// Output:
+	// NextLine
+	// PIF_2K
+	// PIF_32K
+	// ZeroLat-SHIFT
+	// SHIFT
+}
+
+// Core types match the paper's three evaluated microarchitectures.
+func ExampleAllCoreTypes() {
+	for _, t := range shift.AllCoreTypes() {
+		fmt.Println(t)
+	}
+	// Output:
+	// Fat-OoO
+	// Lean-OoO
+	// Lean-IO
+}
+
+// The storage report reproduces the paper's cost arithmetic without any
+// simulation.
+func ExampleRunStorageReport_headline() {
+	r := shift.RunStorageReport()
+	fmt.Printf("PIF per core: %.0f KB (%.2f mm^2)\n", r.PIF32KPerCoreKB, r.PIF32KPerCoreMM2)
+	fmt.Printf("SHIFT total:  %.2f mm^2 (%.0fx cheaper)\n", r.SHIFTTotalMM2, r.AreaRatio)
+	// Output:
+	// PIF per core: 213 KB (0.90 mm^2)
+	// SHIFT total:  0.96 mm^2 (15x cheaper)
+}
+
+// A minimal end-to-end run: measure SHIFT against the baseline on a
+// scaled-down system (8 cores, short windows) so the example stays fast.
+func ExampleRun() {
+	cfg := shift.DefaultRunConfig("Web Search", shift.DesignSHIFT)
+	cfg.Cores = 8
+	cfg.WarmupRecords, cfg.MeasureRecords = 12000, 12000
+	res, err := shift.Run(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	base := cfg
+	base.Design = shift.DesignBaseline
+	ref, err := shift.Run(base)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("SHIFT faster than baseline: %v\n", res.Throughput > ref.Throughput)
+	fmt.Printf("history traffic observed:   %v\n", res.Traffic.HistRead > 0)
+	// Output:
+	// SHIFT faster than baseline: true
+	// history traffic observed:   true
+}

@@ -1,0 +1,30 @@
+// Consolidation: run four different server workloads side by side on one
+// 16-core CMP (four cores each), with one LLC-embedded shared history per
+// workload — the Section 4.3 / Figure 10 scenario. Demonstrates that
+// SHIFT's benefit survives multi-tenancy because each workload gets its
+// own history generator core and HBBase.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shift"
+)
+
+func main() {
+	opts := shift.DefaultOptions()
+	fig, err := shift.RunFigure10(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig)
+
+	fmt.Println("Per-workload detail (SHIFT vs dedicated-storage ZeroLat-SHIFT):")
+	for _, w := range fig.Workloads {
+		sh := fig.Speedup[w][shift.DesignSHIFT.String()]
+		zl := fig.Speedup[w][shift.DesignZeroLatSHIFT.String()]
+		fmt.Printf("  %-16s SHIFT %.3fx  ZeroLat %.3fx  (virtualization cost %.1f%%)\n",
+			w, sh, zl, (zl/sh-1)*100)
+	}
+}

@@ -1,0 +1,64 @@
+// Custom workload: build a synthetic server workload from scratch with
+// the internal workload model, inspect its trace properties, and measure
+// how SHIFT's coverage responds as the instruction footprint grows — the
+// workflow for studying a workload that is not in the Table I catalog.
+//
+// (Examples live inside the module, so they may import internal packages;
+// external users would instead start from the shift.Workloads() catalog.)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shift/internal/core"
+	"shift/internal/sim"
+	"shift/internal/trace"
+	"shift/internal/workload"
+)
+
+func main() {
+	for _, footprintKB := range []int{256, 768, 1536, 3072} {
+		p := workload.Params{
+			Name: fmt.Sprintf("custom-%dKB", footprintKB), Seed: 42,
+			FootprintBytes:   footprintKB * 1024,
+			OSFootprintBytes: 64 * 1024,
+			RequestTypes:     8, RequestZipf: 0.5,
+			FuncBlocksMean: 5, CallDepth: 7, CallSiteDensity: 0.3,
+			VaryProb: 0.04, SkipProb: 0.24, CoreBias: 0.04,
+			TrapRate: 0.003, SchedProb: 0.25,
+			LoopWeight: 0.4,
+		}
+		w, err := workload.New(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := trace.Measure(trace.Limit(w.NewCoreReader(0), 150000), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		run := func(pf sim.PrefetcherSpec) sim.Result {
+			cfg := sim.DefaultConfig()
+			cfg.Prefetcher = pf
+			res, err := sim.Run(sim.RunSpec{
+				Config: cfg, Workload: p,
+				WarmupRecords: 40000, MeasureRecords: 40000,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return res
+		}
+		base := run(sim.PrefetcherSpec{Kind: sim.KindNone})
+		sh := run(sim.PrefetcherSpec{Kind: sim.KindSHIFT, SHIFT: core.DefaultConfig()})
+
+		covered := float64(base.Fetch.Misses-sh.Fetch.Misses) / float64(base.Fetch.Misses) * 100
+		fmt.Printf("footprint %4dKB: touched %4.0fKB, seq %4.1f%%, baseline MPKI %5.1f, "+
+			"SHIFT covers %5.1f%% -> speedup %.3fx\n",
+			footprintKB, float64(st.FootprintBytes())/1024, st.SeqFraction()*100,
+			base.MPKI, covered, sh.Throughput/base.Throughput)
+	}
+	fmt.Println("\nLarger instruction working sets miss more and gain more from SHIFT —")
+	fmt.Println("the paper's motivation for targeting server software stacks.")
+}

@@ -1,0 +1,103 @@
+package shift
+
+import (
+	"fmt"
+	"strings"
+
+	"shift/internal/stats"
+)
+
+// Figure1 reproduces the paper's Figure 1: speedup as a function of the
+// fraction of instruction cache misses eliminated, per workload, with the
+// geometric mean. Each miss is probabilistically converted into a hit
+// without exposing its latency (the paper's methodology); 100% equals a
+// perfect instruction cache. The paper reports a linear trend reaching
+// 31% mean speedup at 100%.
+type Figure1 struct {
+	// Fractions are the x-axis points in percent (0..100).
+	Fractions []int
+	// Speedup[workload][i] is the speedup at Fractions[i].
+	Speedup map[string][]float64
+	// GeoMean[i] is the geometric mean across workloads at Fractions[i].
+	GeoMean []float64
+	// Workloads preserves row order.
+	Workloads []string
+}
+
+// RunFigure1 regenerates Figure 1.
+func RunFigure1(o Options) (*Figure1, error) {
+	o, err := o.normalize()
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure1{
+		Fractions: []int{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100},
+		Speedup:   make(map[string][]float64),
+		Workloads: o.Workloads,
+	}
+	for _, w := range o.Workloads {
+		base, err := o.runBaseline(w)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(fig.Fractions))
+		for i, f := range fig.Fractions {
+			if f == 0 {
+				row[i] = 1.0
+				continue
+			}
+			cfg := o.config(w, DesignBaseline)
+			cfg.ElimProb = float64(f) / 100
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = res.Throughput / base.Throughput
+		}
+		fig.Speedup[w] = row
+	}
+	fig.GeoMean = make([]float64, len(fig.Fractions))
+	for i := range fig.Fractions {
+		col := make([]float64, 0, len(o.Workloads))
+		for _, w := range o.Workloads {
+			col = append(col, fig.Speedup[w][i])
+		}
+		fig.GeoMean[i] = stats.GeoMean(col)
+	}
+	return fig, nil
+}
+
+// PerfectGeoMean returns the geometric-mean speedup at 100% elimination
+// (the paper's 1.31 headline).
+func (f *Figure1) PerfectGeoMean() float64 {
+	if len(f.GeoMean) == 0 {
+		return 0
+	}
+	return f.GeoMean[len(f.GeoMean)-1]
+}
+
+// String renders the figure as a table of speedup series.
+func (f *Figure1) String() string {
+	header := []string{"Workload \\ %misses eliminated"}
+	for _, p := range f.Fractions {
+		header = append(header, fmt.Sprintf("%d%%", p))
+	}
+	t := stats.NewTable(header...)
+	for _, w := range f.Workloads {
+		row := []string{w}
+		for _, v := range f.Speedup[w] {
+			row = append(row, fmt.Sprintf("%.3f", v))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"Geo. Mean"}
+	for _, v := range f.GeoMean {
+		row = append(row, fmt.Sprintf("%.3f", v))
+	}
+	t.AddRow(row...)
+	var b strings.Builder
+	b.WriteString("Figure 1: Speedup vs fraction of I-cache misses eliminated\n")
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "Perfect-I geo-mean speedup: %.3f (paper: ~1.31)\n", f.PerfectGeoMean())
+	return b.String()
+}

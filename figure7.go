@@ -1,0 +1,109 @@
+package shift
+
+import (
+	"fmt"
+	"strings"
+
+	"shift/internal/stats"
+)
+
+// CoverageRow is one bar group of Figure 7: instruction misses covered,
+// uncovered, and overpredicted by a design, as percentages of the
+// baseline (no-prefetch) miss count.
+type CoverageRow struct {
+	Workload      string
+	Design        string
+	Covered       float64
+	Uncovered     float64
+	Overpredicted float64
+}
+
+// Figure7 reproduces the paper's Figure 7: covered/uncovered/
+// overpredicted instruction misses for PIF_2K, PIF_32K, and SHIFT on each
+// workload, normalized to the baseline system's misses. The paper
+// reports, on average: SHIFT 81% covered / 16% overpredicted; PIF_32K
+// 92% / 13%; PIF_2K 53% / 20%.
+type Figure7 struct {
+	Rows      []CoverageRow
+	Workloads []string
+	Designs   []Design
+}
+
+// RunFigure7 regenerates Figure 7 with real prefetching (cache
+// perturbation included).
+func RunFigure7(o Options) (*Figure7, error) {
+	o, err := o.normalize()
+	if err != nil {
+		return nil, err
+	}
+	designs := []Design{DesignPIF2K, DesignPIF32K, DesignSHIFT}
+	fig := &Figure7{Workloads: o.Workloads, Designs: designs}
+	for _, w := range o.Workloads {
+		base, err := o.runBaseline(w)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range designs {
+			res, err := Run(o.config(w, d))
+			if err != nil {
+				return nil, err
+			}
+			bm := float64(base.Misses)
+			row := CoverageRow{
+				Workload:      w,
+				Design:        d.String(),
+				Uncovered:     float64(res.Misses) / bm * 100,
+				Overpredicted: float64(res.Discards) / bm * 100,
+			}
+			row.Covered = 100 - row.Uncovered
+			if row.Covered < 0 {
+				row.Covered = 0
+			}
+			fig.Rows = append(fig.Rows, row)
+		}
+	}
+	return fig, nil
+}
+
+// MeanCovered returns the average covered percentage for a design.
+func (f *Figure7) MeanCovered(design Design) float64 {
+	var vals []float64
+	for _, r := range f.Rows {
+		if r.Design == design.String() {
+			vals = append(vals, r.Covered)
+		}
+	}
+	return stats.Mean(vals)
+}
+
+// MeanOverpredicted returns the average overprediction percentage for a
+// design.
+func (f *Figure7) MeanOverpredicted(design Design) float64 {
+	var vals []float64
+	for _, r := range f.Rows {
+		if r.Design == design.String() {
+			vals = append(vals, r.Overpredicted)
+		}
+	}
+	return stats.Mean(vals)
+}
+
+// String renders the figure as a table of bar groups.
+func (f *Figure7) String() string {
+	t := stats.NewTable("Workload", "Design", "Covered (%)", "Uncovered (%)", "Overpredicted (%)")
+	for _, r := range f.Rows {
+		t.AddRow(r.Workload, r.Design,
+			fmt.Sprintf("%.1f", r.Covered),
+			fmt.Sprintf("%.1f", r.Uncovered),
+			fmt.Sprintf("%.1f", r.Overpredicted))
+	}
+	var b strings.Builder
+	b.WriteString("Figure 7: Instruction misses covered and overpredicted (% of baseline misses)\n")
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "Averages: SHIFT %.1f%%+%.1f%%  PIF_32K %.1f%%+%.1f%%  PIF_2K %.1f%%+%.1f%%\n",
+		f.MeanCovered(DesignSHIFT), f.MeanOverpredicted(DesignSHIFT),
+		f.MeanCovered(DesignPIF32K), f.MeanOverpredicted(DesignPIF32K),
+		f.MeanCovered(DesignPIF2K), f.MeanOverpredicted(DesignPIF2K))
+	b.WriteString("(paper: SHIFT 81%+16%, PIF_32K 92%+13%, PIF_2K 53%+20%)\n")
+	return b.String()
+}

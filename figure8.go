@@ -1,0 +1,113 @@
+package shift
+
+import (
+	"fmt"
+	"strings"
+
+	"shift/internal/stats"
+)
+
+// Figure8 reproduces the paper's Figure 8: speedup of NextLine, PIF_2K,
+// PIF_32K, ZeroLat-SHIFT, and SHIFT over the no-prefetch baseline on each
+// workload, on the Lean-OoO CMP. The paper reports on average: NextLine
+// 9%, PIF_2K ~10%, PIF_32K 21%, ZeroLat-SHIFT 20%, SHIFT 19% (up to 42%).
+type Figure8 struct {
+	// Speedup[workload][design] is the speedup over baseline.
+	Speedup map[string]map[string]float64
+	// Geo[design] is the geometric-mean speedup.
+	Geo       map[string]float64
+	Workloads []string
+	Designs   []Design
+}
+
+// RunFigure8 regenerates Figure 8.
+func RunFigure8(o Options) (*Figure8, error) {
+	return runSpeedupComparison(o, FigureDesigns())
+}
+
+// runSpeedupComparison runs the Figure 8 comparison for a design set
+// (shared with the sensitivity and performance-density studies).
+func runSpeedupComparison(o Options, designs []Design) (*Figure8, error) {
+	o, err := o.normalize()
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure8{
+		Speedup:   make(map[string]map[string]float64),
+		Geo:       make(map[string]float64),
+		Workloads: o.Workloads,
+		Designs:   designs,
+	}
+	logs := make(map[string][]float64)
+	for _, w := range o.Workloads {
+		base, err := o.runBaseline(w)
+		if err != nil {
+			return nil, err
+		}
+		fig.Speedup[w] = make(map[string]float64)
+		for _, d := range designs {
+			res, err := Run(o.config(w, d))
+			if err != nil {
+				return nil, err
+			}
+			sp := res.Throughput / base.Throughput
+			fig.Speedup[w][d.String()] = sp
+			logs[d.String()] = append(logs[d.String()], sp)
+		}
+	}
+	for _, d := range designs {
+		fig.Geo[d.String()] = stats.GeoMean(logs[d.String()])
+	}
+	return fig, nil
+}
+
+// SHIFTRetainsPIFBenefit returns SHIFT's geometric-mean speedup benefit
+// as a fraction of PIF_32K's (the paper's "over 90% of the performance
+// benefit" claim).
+func (f *Figure8) SHIFTRetainsPIFBenefit() float64 {
+	pif := f.Geo[DesignPIF32K.String()] - 1
+	sh := f.Geo[DesignSHIFT.String()] - 1
+	if pif <= 0 {
+		return 0
+	}
+	return sh / pif
+}
+
+// MaxSHIFTSpeedup returns the best per-workload SHIFT speedup (the
+// paper's "up to 42%").
+func (f *Figure8) MaxSHIFTSpeedup() float64 {
+	best := 0.0
+	for _, w := range f.Workloads {
+		if v := f.Speedup[w][DesignSHIFT.String()]; v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// String renders the speedup table.
+func (f *Figure8) String() string {
+	header := []string{"Workload"}
+	for _, d := range f.Designs {
+		header = append(header, d.String())
+	}
+	t := stats.NewTable(header...)
+	for _, w := range f.Workloads {
+		row := []string{w}
+		for _, d := range f.Designs {
+			row = append(row, fmt.Sprintf("%.3f", f.Speedup[w][d.String()]))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"Geo. Mean"}
+	for _, d := range f.Designs {
+		row = append(row, fmt.Sprintf("%.3f", f.Geo[d.String()]))
+	}
+	t.AddRow(row...)
+	var b strings.Builder
+	b.WriteString("Figure 8: Performance comparison (speedup over no-prefetch baseline)\n")
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "SHIFT retains %.0f%% of PIF_32K's benefit (paper: >90%%); max SHIFT speedup %.2fx (paper: up to 1.42x)\n",
+		f.SHIFTRetainsPIFBenefit()*100, f.MaxSHIFTSpeedup())
+	return b.String()
+}

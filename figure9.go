@@ -1,0 +1,111 @@
+package shift
+
+import (
+	"fmt"
+	"strings"
+
+	"shift/internal/stats"
+)
+
+// TrafficRow is one workload's SHIFT-induced extra LLC traffic, as
+// percentages of the baseline system's demand (instruction + data) LLC
+// traffic.
+type TrafficRow struct {
+	Workload string
+	// LogRead/LogWrite are history-buffer reads and writes; Discard is
+	// traffic for prefetched blocks discarded before use. IndexUpdate is
+	// reported separately because it touches only the LLC tag array
+	// (the paper reports it in the text: ~2.5%).
+	LogRead, LogWrite, Discard, IndexUpdate float64
+}
+
+// Total returns the data-array traffic increase (the paper's stacked
+// bars: LogRead + LogWrite + Discard).
+func (r TrafficRow) Total() float64 { return r.LogRead + r.LogWrite + r.Discard }
+
+// Figure9 reproduces the paper's Figure 9: virtualized SHIFT's extra LLC
+// traffic normalized to baseline demand traffic. The paper reports ~6%
+// from history reads+writes and ~7% from discards on average, with web
+// frontend the worst case (~26% total), and index updates at 2.5%
+// (tag array only).
+type Figure9 struct {
+	Rows      []TrafficRow
+	Workloads []string
+}
+
+// RunFigure9 regenerates Figure 9.
+func RunFigure9(o Options) (*Figure9, error) {
+	o, err := o.normalize()
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure9{Workloads: o.Workloads}
+	for _, w := range o.Workloads {
+		base, err := o.runBaseline(w)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(o.config(w, DesignSHIFT))
+		if err != nil {
+			return nil, err
+		}
+		denom := float64(base.Traffic.Demand())
+		fig.Rows = append(fig.Rows, TrafficRow{
+			Workload:    w,
+			LogRead:     float64(res.Traffic.HistRead) / denom * 100,
+			LogWrite:    float64(res.Traffic.HistWrite) / denom * 100,
+			Discard:     float64(res.Traffic.Discard) / denom * 100,
+			IndexUpdate: float64(res.Traffic.IndexUpdate) / denom * 100,
+		})
+	}
+	return fig, nil
+}
+
+// MeanLogTraffic returns the mean history read+write increase.
+func (f *Figure9) MeanLogTraffic() float64 {
+	var vals []float64
+	for _, r := range f.Rows {
+		vals = append(vals, r.LogRead+r.LogWrite)
+	}
+	return stats.Mean(vals)
+}
+
+// MeanDiscard returns the mean discard traffic increase.
+func (f *Figure9) MeanDiscard() float64 {
+	var vals []float64
+	for _, r := range f.Rows {
+		vals = append(vals, r.Discard)
+	}
+	return stats.Mean(vals)
+}
+
+// WorstTotal returns the workload with the largest total increase.
+func (f *Figure9) WorstTotal() (string, float64) {
+	name, worst := "", 0.0
+	for _, r := range f.Rows {
+		if t := r.Total(); t > worst {
+			name, worst = r.Workload, t
+		}
+	}
+	return name, worst
+}
+
+// String renders the traffic table.
+func (f *Figure9) String() string {
+	t := stats.NewTable("Workload", "LogRead (%)", "LogWrite (%)", "Discard (%)", "Total (%)", "IndexUpd (tag-only, %)")
+	for _, r := range f.Rows {
+		t.AddRow(r.Workload,
+			fmt.Sprintf("%.1f", r.LogRead),
+			fmt.Sprintf("%.1f", r.LogWrite),
+			fmt.Sprintf("%.1f", r.Discard),
+			fmt.Sprintf("%.1f", r.Total()),
+			fmt.Sprintf("%.1f", r.IndexUpdate))
+	}
+	var b strings.Builder
+	b.WriteString("Figure 9: SHIFT LLC traffic overhead (% of baseline demand traffic)\n")
+	b.WriteString(t.String())
+	worstName, worstVal := f.WorstTotal()
+	fmt.Fprintf(&b, "Mean: log %.1f%% + discard %.1f%%; worst %s %.1f%% (paper: ~6%%+7%%, worst web frontend ~26%%)\n",
+		f.MeanLogTraffic(), f.MeanDiscard(), worstName, worstVal)
+	return b.String()
+}

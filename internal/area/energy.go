@@ -1,0 +1,59 @@
+package area
+
+// EnergyModel holds the per-event energy constants of the Section 5.7
+// power analysis (LLC via the CACTI-calibrated constants below, NoC via
+// the paper's custom link/router/buffer model [21]). All energies are in
+// nanojoules; frequency in GHz.
+type EnergyModel struct {
+	// LLCDataAccessNJ is one 64-byte LLC data-array read or write.
+	LLCDataAccessNJ float64
+	// LLCTagAccessNJ is one LLC tag-array access (index update/read).
+	LLCTagAccessNJ float64
+	// NoCHopDataNJ is moving one 64-byte payload one hop (link + router
+	// switch fabric + buffers).
+	NoCHopDataNJ float64
+	// NoCHopCtrlNJ is moving a payload-free request/control flit one hop.
+	NoCHopCtrlNJ float64
+	// FreqGHz converts cycles to seconds.
+	FreqGHz float64
+}
+
+// DefaultEnergyModel returns 40nm-class constants calibrated so that the
+// paper's SHIFT activity lands under its reported 150mW budget on a
+// 16-core CMP.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{
+		LLCDataAccessNJ: 0.45,
+		LLCTagAccessNJ:  0.07,
+		NoCHopDataNJ:    0.10,
+		NoCHopCtrlNJ:    0.02,
+		FreqGHz:         2.0,
+	}
+}
+
+// Activity summarizes the SHIFT-induced extra events of a measurement
+// window (taken from the simulator's traffic counters).
+type Activity struct {
+	// HistReads and HistWrites are history-block LLC transfers; their
+	// Hops fields carry the accumulated round-trip hop counts.
+	HistReads, HistReadHops   int64
+	HistWrites, HistWriteHops int64
+	// IndexUpdates touch only the LLC tag array.
+	IndexUpdates, IndexUpdateHops int64
+	// Cycles is the measurement window length in core cycles.
+	Cycles int64
+}
+
+// PowerMW returns the average extra power of the activity in milliwatts.
+func (m EnergyModel) PowerMW(a Activity) float64 {
+	if a.Cycles <= 0 {
+		return 0
+	}
+	energyNJ := float64(a.HistReads+a.HistWrites)*m.LLCDataAccessNJ +
+		float64(a.IndexUpdates)*m.LLCTagAccessNJ +
+		float64(a.HistReadHops+a.HistWriteHops)*m.NoCHopDataNJ +
+		float64(a.IndexUpdateHops)*m.NoCHopCtrlNJ
+	seconds := float64(a.Cycles) / (m.FreqGHz * 1e9)
+	// nJ / s = nW; convert to mW.
+	return energyNJ / seconds * 1e-6
+}

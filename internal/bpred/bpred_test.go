@@ -1,0 +1,159 @@
+package bpred
+
+import (
+	"testing"
+
+	"shift/internal/trace"
+)
+
+func TestCounter2Saturates(t *testing.T) {
+	c := counter2(0)
+	c = c.update(false)
+	if c != 0 {
+		t.Errorf("counter underflowed: %d", c)
+	}
+	c = counter2(3)
+	c = c.update(true)
+	if c != 3 {
+		t.Errorf("counter overflowed: %d", c)
+	}
+	c = counter2(1)
+	if c.taken() {
+		t.Error("1 should predict not-taken")
+	}
+	c = c.update(true)
+	if !c.taken() {
+		t.Error("2 should predict taken")
+	}
+}
+
+func TestNewRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 1000} {
+		if _, err := NewBimodal(n); err == nil {
+			t.Errorf("NewBimodal(%d) accepted", n)
+		}
+		if _, err := NewGShare(n); err == nil {
+			t.Errorf("NewGShare(%d) accepted", n)
+		}
+		if _, err := NewHybrid(n); err == nil {
+			t.Errorf("NewHybrid(%d) accepted", n)
+		}
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b, err := NewBimodal(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := trace.Addr(0x1000)
+	for i := 0; i < 10; i++ {
+		b.Update(pc, true)
+	}
+	if !b.Predict(pc) {
+		t.Error("bimodal failed to learn always-taken")
+	}
+	for i := 0; i < 10; i++ {
+		b.Update(pc, false)
+	}
+	if b.Predict(pc) {
+		t.Error("bimodal failed to learn always-not-taken")
+	}
+}
+
+func TestGShareLearnsPattern(t *testing.T) {
+	g, err := NewGShare(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := trace.Addr(0x2000)
+	// Alternating pattern T,N,T,N is history-predictable; a bimodal
+	// cannot beat 50% on it but gshare can approach 100% after warmup.
+	pattern := []bool{true, false}
+	// Train.
+	for i := 0; i < 2000; i++ {
+		g.Update(pc, pattern[i%2])
+	}
+	correct := 0
+	for i := 0; i < 200; i++ {
+		want := pattern[i%2]
+		if g.Predict(pc) == want {
+			correct++
+		}
+		g.Update(pc, want)
+	}
+	if correct < 190 {
+		t.Errorf("gshare learned alternating pattern at only %d/200", correct)
+	}
+}
+
+func TestHybridBeatsWorstComponent(t *testing.T) {
+	h := MustNewHybrid(4096)
+	// Mix: one strongly biased branch plus one alternating branch.
+	biased, alt := trace.Addr(0x100), trace.Addr(0x204)
+	correct, total := 0, 0
+	rng := trace.NewRNG(9)
+	altState := false
+	for i := 0; i < 20000; i++ {
+		var pc trace.Addr
+		var taken bool
+		if rng.Bool(0.5) {
+			pc, taken = biased, true
+		} else {
+			altState = !altState
+			pc, taken = alt, altState
+		}
+		if i > 4000 {
+			total++
+			if h.Predict(pc) == taken {
+				correct++
+			}
+		}
+		h.Update(pc, taken)
+	}
+	// The random interleaving pollutes gshare's global history, so the
+	// alternating branch is only partially predictable; 0.8 is well above
+	// what either component alone achieves on this mix.
+	acc := float64(correct) / float64(total)
+	if acc < 0.8 {
+		t.Errorf("hybrid accuracy %.3f < 0.8", acc)
+	}
+	if h.Accuracy() <= 0.5 {
+		t.Errorf("running Accuracy = %v", h.Accuracy())
+	}
+	if h.Predictions() == 0 || h.Mispredicts() < 0 {
+		t.Error("stats not maintained")
+	}
+}
+
+func TestHybridAccuracyEmptyIsOne(t *testing.T) {
+	h := MustNewHybrid(16)
+	if h.Accuracy() != 1 {
+		t.Errorf("Accuracy with no predictions = %v, want 1", h.Accuracy())
+	}
+}
+
+func TestNames(t *testing.T) {
+	b, _ := NewBimodal(16)
+	g, _ := NewGShare(16)
+	h := MustNewHybrid(16)
+	if b.Name() != "bimodal" || g.Name() != "gshare" || h.Name() != "hybrid" {
+		t.Error("wrong predictor names")
+	}
+}
+
+func TestMustNewHybridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewHybrid should panic on bad size")
+		}
+	}()
+	MustNewHybrid(3)
+}
+
+func TestTableIPredictorSize(t *testing.T) {
+	// Table I: 16K gShare & 16K bimodal.
+	if _, err := NewHybrid(16384); err != nil {
+		t.Fatalf("Table I predictor rejected: %v", err)
+	}
+}

@@ -1,0 +1,353 @@
+// Package cache implements the set-associative caches of the simulated CMP:
+// the per-core 32KB 2-way L1 instruction caches and the 16-bank, 16-way
+// NUCA LLC of Table I.
+//
+// Beyond a plain LRU cache, it provides the two mechanisms virtualized
+// SHIFT needs from the LLC (paper Section 4.2):
+//
+//   - pinned (non-evictable) address ranges, implemented as the paper
+//     describes ("trivial logic that compares a block's address to the
+//     address range reserved for the history");
+//   - a per-line tag extension holding an index pointer into the history
+//     buffer, returned on demand lookups and lost when the line is evicted.
+//
+// Prefetch bookkeeping (a prefetched bit and a referenced bit per line)
+// supports the covered/overpredicted accounting of the paper's Figure 7.
+package cache
+
+import (
+	"fmt"
+
+	"shift/internal/trace"
+)
+
+// NoPointer is the tag-extension value meaning "no index pointer".
+const NoPointer uint32 = 0xFFFFFFFF
+
+// Config sizes a cache.
+type Config struct {
+	// SizeBytes is the total data capacity.
+	SizeBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// BlockBytes is the line size (64 in all Table I caches).
+	BlockBytes int
+	// TagPointers enables the per-line index-pointer tag extension
+	// (LLC only, for virtualized SHIFT).
+	TagPointers bool
+	// IndexShift drops this many low block-address bits before set
+	// indexing. Banked caches whose bank is selected by the low bits
+	// (block mod #banks) must set it to log2(#banks), otherwise only
+	// 1/#banks of each bank's sets are reachable.
+	IndexShift uint
+}
+
+// Validate reports the first problem with c, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0:
+		return fmt.Errorf("cache: SizeBytes %d <= 0", c.SizeBytes)
+	case c.Assoc <= 0:
+		return fmt.Errorf("cache: Assoc %d <= 0", c.Assoc)
+	case c.BlockBytes <= 0 || c.BlockBytes&(c.BlockBytes-1) != 0:
+		return fmt.Errorf("cache: BlockBytes %d not a positive power of two", c.BlockBytes)
+	case c.SizeBytes%(c.Assoc*c.BlockBytes) != 0:
+		return fmt.Errorf("cache: SizeBytes %d not divisible by Assoc*BlockBytes", c.SizeBytes)
+	}
+	sets := c.SizeBytes / (c.Assoc * c.BlockBytes)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the config.
+func (c Config) Sets() int { return c.SizeBytes / (c.Assoc * c.BlockBytes) }
+
+// Line is one cache line's metadata.
+type line struct {
+	tag   uint64 // block address (full address stored for simplicity)
+	valid bool
+	// lru is a per-set sequence number; larger = more recently used.
+	lru uint64
+	// prefetched marks lines installed by a prefetcher and not yet
+	// referenced by demand fetch.
+	prefetched bool
+	// referenced marks lines touched by demand fetch since fill.
+	referenced bool
+	// pinned lines are never chosen as victims.
+	pinned bool
+	// pointer is the tag-extension index pointer (NoPointer if unset).
+	pointer uint32
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits             int64 // demand hits
+	Misses           int64 // demand misses
+	PrefetchHits     int64 // demand hits on lines brought in by prefetch
+	Inserts          int64
+	Evictions        int64
+	PrefetchInserted int64
+	// PrefetchDiscards counts prefetched lines evicted before any demand
+	// reference — the paper's "discarded before used by the core".
+	PrefetchDiscards int64
+}
+
+// Cache is a set-associative cache with LRU replacement.
+type Cache struct {
+	cfg        Config
+	sets       [][]line
+	setMask    uint64
+	lruClock   uint64
+	stats      Stats
+	pinLo      trace.BlockAddr
+	pinHi      trace.BlockAddr
+	pinEnabled bool
+}
+
+// New builds a cache.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nsets := cfg.Sets()
+	c := &Cache{cfg: cfg, setMask: uint64(nsets - 1)}
+	c.sets = make([][]line, nsets)
+	backing := make([]line, nsets*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+		for w := range c.sets[i] {
+			c.sets[i][w].pointer = NoPointer
+		}
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on config errors; for tests and fixed configs.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// setIndex maps a block address to its set.
+func (c *Cache) setIndex(b trace.BlockAddr) uint64 {
+	return (uint64(b) >> c.cfg.IndexShift) & c.setMask
+}
+
+// find returns the way holding b in its set, or -1.
+func (c *Cache) find(b trace.BlockAddr) (set []line, way int) {
+	set = c.sets[c.setIndex(b)]
+	for w := range set {
+		if set[w].valid && set[w].tag == uint64(b) {
+			return set, w
+		}
+	}
+	return set, -1
+}
+
+// PinRange marks [lo, hi) as non-evictable. Blocks in the range are pinned
+// when inserted. Only one range is supported (one history buffer per LLC
+// bank); consolidation uses multiple caches' worth of ranges via PinRanges
+// in the controller layer.
+func (c *Cache) PinRange(lo, hi trace.BlockAddr) {
+	c.pinLo, c.pinHi, c.pinEnabled = lo, hi, true
+}
+
+// inPinRange reports whether b falls in the pinned range.
+func (c *Cache) inPinRange(b trace.BlockAddr) bool {
+	return c.pinEnabled && b >= c.pinLo && b < c.pinHi
+}
+
+// Contains reports whether b is present, without touching LRU or stats.
+func (c *Cache) Contains(b trace.BlockAddr) bool {
+	_, w := c.find(b)
+	return w >= 0
+}
+
+// Lookup performs a demand access to b. It returns hit=true if present,
+// and wasPrefetch=true if the line was filled by a prefetch and this is
+// its first demand reference (a covered miss in Figure 7's terms).
+func (c *Cache) Lookup(b trace.BlockAddr) (hit, wasPrefetch bool) {
+	set, w := c.find(b)
+	if w < 0 {
+		c.stats.Misses++
+		return false, false
+	}
+	ln := &set[w]
+	c.lruClock++
+	ln.lru = c.lruClock
+	c.stats.Hits++
+	if ln.prefetched {
+		c.stats.PrefetchHits++
+		ln.prefetched = false
+		wasPrefetch = true
+	}
+	ln.referenced = true
+	return true, wasPrefetch
+}
+
+// Evicted describes a line displaced by an insert.
+type Evicted struct {
+	Block trace.BlockAddr
+	// PrefetchUnused is true if the line was prefetched and never
+	// demand-referenced (an overprediction/discard).
+	PrefetchUnused bool
+	Pointer        uint32
+}
+
+// Insert fills b. prefetch marks the line as prefetcher-installed.
+// It returns the displaced line, if any. Inserting a block that is already
+// present refreshes LRU and returns no eviction.
+func (c *Cache) Insert(b trace.BlockAddr, prefetch bool) (ev Evicted, evicted bool) {
+	set, w := c.find(b)
+	c.lruClock++
+	if w >= 0 {
+		// Already present: refresh recency; a demand fill of a prefetched
+		// line keeps its prefetched bit (only Lookup clears it).
+		set[w].lru = c.lruClock
+		return Evicted{}, false
+	}
+	victim := c.victim(set)
+	if victim < 0 {
+		// Whole set pinned; cannot insert. Callers treat this as a fill
+		// that bypasses the cache (only possible with pathological pin
+		// ranges; guarded in SHIFT sizing).
+		return Evicted{}, false
+	}
+	ln := &set[victim]
+	if ln.valid {
+		ev = Evicted{Block: trace.BlockAddr(ln.tag), PrefetchUnused: ln.prefetched && !ln.referenced, Pointer: ln.pointer}
+		evicted = true
+		c.stats.Evictions++
+		if ev.PrefetchUnused {
+			c.stats.PrefetchDiscards++
+		}
+	}
+	*ln = line{
+		tag:        uint64(b),
+		valid:      true,
+		lru:        c.lruClock,
+		prefetched: prefetch,
+		pinned:     c.inPinRange(b),
+		pointer:    NoPointer,
+	}
+	c.stats.Inserts++
+	if prefetch {
+		c.stats.PrefetchInserted++
+	}
+	return ev, evicted
+}
+
+// victim picks the LRU non-pinned way, or an invalid way if present.
+func (c *Cache) victim(set []line) int {
+	best := -1
+	var bestLRU uint64
+	for w := range set {
+		if !set[w].valid {
+			return w
+		}
+		if set[w].pinned {
+			continue
+		}
+		if best < 0 || set[w].lru < bestLRU {
+			best, bestLRU = w, set[w].lru
+		}
+	}
+	return best
+}
+
+// Invalidate removes b if present, returning whether it was present.
+func (c *Cache) Invalidate(b trace.BlockAddr) bool {
+	set, w := c.find(b)
+	if w < 0 {
+		return false
+	}
+	set[w] = line{pointer: NoPointer}
+	return true
+}
+
+// SetPointer writes the tag-extension index pointer of b if b is present.
+// It returns false if b is absent (the paper: the index update is dropped
+// when the trigger block is not LLC-resident).
+func (c *Cache) SetPointer(b trace.BlockAddr, ptr uint32) bool {
+	if !c.cfg.TagPointers {
+		return false
+	}
+	set, w := c.find(b)
+	if w < 0 {
+		return false
+	}
+	set[w].pointer = ptr
+	return true
+}
+
+// Pointer reads the tag-extension index pointer of b. ok is false if b is
+// absent or has no pointer set.
+func (c *Cache) Pointer(b trace.BlockAddr) (ptr uint32, ok bool) {
+	if !c.cfg.TagPointers {
+		return NoPointer, false
+	}
+	set, w := c.find(b)
+	if w < 0 || set[w].pointer == NoPointer {
+		return NoPointer, false
+	}
+	return set[w].pointer, true
+}
+
+// PinnedCount returns the number of currently pinned, valid lines.
+func (c *Cache) PinnedCount() int {
+	n := 0
+	for _, set := range c.sets {
+		for w := range set {
+			if set[w].valid && set[w].pinned {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ValidCount returns the number of valid lines.
+func (c *Cache) ValidCount() int {
+	n := 0
+	for _, set := range c.sets {
+		for w := range set {
+			if set[w].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CheckLRUInvariant verifies internal consistency (each set's valid lines
+// have distinct LRU stamps; pinned bits only inside the pin range). It is
+// used by property tests.
+func (c *Cache) CheckLRUInvariant() error {
+	for si, set := range c.sets {
+		seen := make(map[uint64]bool, len(set))
+		for w := range set {
+			if !set[w].valid {
+				continue
+			}
+			if seen[set[w].lru] {
+				return fmt.Errorf("cache: set %d has duplicate LRU stamp %d", si, set[w].lru)
+			}
+			seen[set[w].lru] = true
+			if set[w].pinned && !c.inPinRange(trace.BlockAddr(set[w].tag)) {
+				return fmt.Errorf("cache: set %d way %d pinned outside pin range", si, w)
+			}
+		}
+	}
+	return nil
+}

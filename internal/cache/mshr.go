@@ -1,0 +1,88 @@
+package cache
+
+import "shift/internal/trace"
+
+// MSHRs track in-flight fills for the timing model. Each entry records the
+// cycle at which the fill completes; a demand access to an in-flight block
+// stalls only for the remaining latency (the partial-hiding case of
+// prefetches that were issued but have not yet arrived).
+//
+// Capacity mirrors Table I (32 MSHRs for the L1s, 64 for L2 banks); when
+// full, the oldest completed entry is retired first, and if none has
+// completed, the new request must wait for the earliest completion
+// (modelled by returning that cycle as the earliest issue time).
+type MSHRs struct {
+	cap     int
+	entries map[trace.BlockAddr]int64 // block -> ready cycle
+}
+
+// NewMSHRs builds an MSHR file with the given capacity.
+func NewMSHRs(capacity int) *MSHRs {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &MSHRs{cap: capacity, entries: make(map[trace.BlockAddr]int64, capacity)}
+}
+
+// Lookup returns the ready cycle of an in-flight fill for b, if any.
+func (m *MSHRs) Lookup(b trace.BlockAddr) (ready int64, ok bool) {
+	ready, ok = m.entries[b]
+	return
+}
+
+// Allocate records a fill for b completing at ready. If b is already in
+// flight the earlier completion wins. It returns the cycle at which the
+// request could actually be accepted (== now unless the file was full of
+// still-pending entries).
+func (m *MSHRs) Allocate(b trace.BlockAddr, now, ready int64) int64 {
+	if cur, ok := m.entries[b]; ok {
+		if cur <= ready {
+			return now
+		}
+		m.entries[b] = ready
+		return now
+	}
+	accepted := now
+	if len(m.entries) >= m.cap {
+		accepted = m.reclaim(now)
+	}
+	m.entries[b] = ready
+	return accepted
+}
+
+// reclaim retires completed entries; if none are complete, it waits until
+// the earliest completion and retires that entry, returning the wait cycle.
+func (m *MSHRs) reclaim(now int64) int64 {
+	var earliestBlk trace.BlockAddr
+	earliest := int64(-1)
+	for b, r := range m.entries {
+		if r <= now {
+			delete(m.entries, b)
+			return now
+		}
+		if earliest < 0 || r < earliest {
+			earliest, earliestBlk = r, b
+		}
+	}
+	delete(m.entries, earliestBlk)
+	return earliest
+}
+
+// Complete removes b's entry once the fill has been consumed.
+func (m *MSHRs) Complete(b trace.BlockAddr) { delete(m.entries, b) }
+
+// Expire drops all entries that completed at or before now. Calling it
+// periodically keeps the file small without changing semantics.
+func (m *MSHRs) Expire(now int64) {
+	for b, r := range m.entries {
+		if r <= now {
+			delete(m.entries, b)
+		}
+	}
+}
+
+// InFlight returns the number of live entries.
+func (m *MSHRs) InFlight() int { return len(m.entries) }
+
+// Cap returns the configured capacity.
+func (m *MSHRs) Cap() int { return m.cap }

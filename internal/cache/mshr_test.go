@@ -1,0 +1,80 @@
+package cache
+
+import "testing"
+
+func TestMSHRBasic(t *testing.T) {
+	m := NewMSHRs(4)
+	if m.Cap() != 4 {
+		t.Fatalf("Cap = %d", m.Cap())
+	}
+	if _, ok := m.Lookup(1); ok {
+		t.Fatal("lookup in empty MSHRs hit")
+	}
+	if acc := m.Allocate(1, 100, 120); acc != 100 {
+		t.Fatalf("accepted at %d, want 100", acc)
+	}
+	if r, ok := m.Lookup(1); !ok || r != 120 {
+		t.Fatalf("Lookup = %d, %v", r, ok)
+	}
+	m.Complete(1)
+	if _, ok := m.Lookup(1); ok {
+		t.Fatal("entry survived Complete")
+	}
+}
+
+func TestMSHRDuplicateKeepsEarlier(t *testing.T) {
+	m := NewMSHRs(4)
+	m.Allocate(1, 0, 50)
+	m.Allocate(1, 0, 80) // later completion must not extend
+	if r, _ := m.Lookup(1); r != 50 {
+		t.Errorf("ready = %d, want 50", r)
+	}
+	m.Allocate(1, 0, 30) // earlier completion wins
+	if r, _ := m.Lookup(1); r != 30 {
+		t.Errorf("ready = %d, want 30", r)
+	}
+}
+
+func TestMSHRFullWithCompleted(t *testing.T) {
+	m := NewMSHRs(2)
+	m.Allocate(1, 0, 5)
+	m.Allocate(2, 0, 500)
+	// At now=10, entry 1 has completed; allocation should proceed at 10.
+	if acc := m.Allocate(3, 10, 100); acc != 10 {
+		t.Errorf("accepted at %d, want 10", acc)
+	}
+	if m.InFlight() != 2 {
+		t.Errorf("InFlight = %d, want 2", m.InFlight())
+	}
+}
+
+func TestMSHRFullStalls(t *testing.T) {
+	m := NewMSHRs(2)
+	m.Allocate(1, 0, 40)
+	m.Allocate(2, 0, 60)
+	// Nothing completed at now=10: must wait until the earliest (40).
+	if acc := m.Allocate(3, 10, 100); acc != 40 {
+		t.Errorf("accepted at %d, want 40", acc)
+	}
+}
+
+func TestMSHRExpire(t *testing.T) {
+	m := NewMSHRs(8)
+	m.Allocate(1, 0, 10)
+	m.Allocate(2, 0, 20)
+	m.Allocate(3, 0, 30)
+	m.Expire(20)
+	if m.InFlight() != 1 {
+		t.Errorf("InFlight = %d, want 1", m.InFlight())
+	}
+	if _, ok := m.Lookup(3); !ok {
+		t.Error("unexpired entry dropped")
+	}
+}
+
+func TestMSHRZeroCap(t *testing.T) {
+	m := NewMSHRs(0)
+	if m.Cap() != 1 {
+		t.Errorf("zero capacity should clamp to 1, got %d", m.Cap())
+	}
+}

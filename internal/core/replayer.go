@@ -1,0 +1,165 @@
+package core
+
+import (
+	"shift/internal/history"
+	"shift/internal/prefetch"
+	"shift/internal/trace"
+)
+
+// Replayer is the per-core SHIFT logic: a stream address buffer file plus
+// the "simple logic to read instruction streams from the shared history
+// buffer and issue prefetch requests" (Section 4). It implements
+// prefetch.Prefetcher.
+type Replayer struct {
+	sh     *SharedHistory
+	coreID int
+	sab    *history.SAB
+
+	stats prefetch.Stats
+	out   []prefetch.Request
+	tmp   []history.Region
+	blks  []trace.BlockAddr
+}
+
+// CorePrefetcher creates the per-core replay logic for coreID. The
+// instance records into the shared history if coreID is the generator.
+func (sh *SharedHistory) CorePrefetcher(coreID int) *Replayer {
+	return &Replayer{
+		sh:     sh,
+		coreID: coreID,
+		sab:    history.MustNewSAB(sh.cfg.SAB),
+	}
+}
+
+// Name implements prefetch.Prefetcher.
+func (r *Replayer) Name() string { return r.sh.cfg.Variant.String() }
+
+// PrefetchStats implements prefetch.StatsReporter.
+func (r *Replayer) PrefetchStats() prefetch.Stats { return r.stats }
+
+// IsGenerator reports whether this core currently records the shared
+// history (the role may rotate; see SharedHistory.SetGenerator).
+func (r *Replayer) IsGenerator() bool { return r.coreID == r.sh.generator }
+
+// OnAccess implements prefetch.Prefetcher.
+func (r *Replayer) OnAccess(a prefetch.Access) []prefetch.Request {
+	r.out = r.out[:0]
+	r.stats.Accesses++
+	if !a.Hit {
+		r.stats.Misses++
+	}
+
+	// Replay: advance the covering stream.
+	si, needed, covered := r.sab.Advance(a.Block)
+	if covered {
+		r.stats.CoveredAccesses++
+		if !a.Hit {
+			r.stats.CoveredMisses++
+		}
+		var delay int64
+		if needed > 0 {
+			delay = r.readAhead(si, needed)
+		}
+		r.emitWindow(si, a.Block, delay)
+	} else if !a.Hit || r.sh.cfg.AllocOnAccess {
+		// Start a new stream from the most recent occurrence of this
+		// block as a trigger in the *shared* history.
+		if pos, ok := r.sh.lookup(r.coreID, a.Block); ok {
+			r.allocate(pos, a.Block)
+		}
+	}
+
+	// Record: only the history generator core writes the shared history.
+	if r.IsGenerator() {
+		if r.sh.record(r.coreID, a.Block) {
+			r.stats.RecordsWritten++
+			r.stats.IndexUpdates++
+		}
+	}
+	return r.out
+}
+
+// allocate claims a stream, performs the initial history read, and emits
+// the first prefetch window.
+func (r *Replayer) allocate(pos uint64, current trace.BlockAddr) {
+	si := r.sab.Alloc()
+	r.stats.StreamAllocs++
+	delay := r.fill(si, pos, r.sh.cfg.SAB.Lookahead)
+	r.emitWindow(si, current, delay)
+}
+
+// readAhead tops stream si up by `needed` records, returning the history
+// access latency incurred.
+func (r *Replayer) readAhead(si, needed int) int64 {
+	pos := r.sab.NextPos(si)
+	if !r.sh.buf.Valid(pos) {
+		return 0
+	}
+	return r.fill(si, pos, needed)
+}
+
+// fill reads `want` records starting at pos into stream si, modelling the
+// storage variant's access granularity and latency. It returns the
+// accumulated history read latency (zero for dedicated storage).
+func (r *Replayer) fill(si int, pos uint64, want int) int64 {
+	switch r.sh.cfg.Variant {
+	case Dedicated:
+		r.tmp = r.tmp[:0]
+		recs, next := r.sh.buf.ReadSeq(r.tmp, pos, want)
+		if len(recs) == 0 {
+			return 0
+		}
+		r.sab.FillRegions(si, recs, pos, next)
+		return 0
+
+	case Virtualized:
+		// History is read at cache-block granularity: fetch the block
+		// containing pos (records at positions >= pos within it), and at
+		// most one more block if the lookahead demands it. Each block
+		// read is an LLC round trip whose latency delays the resulting
+		// prefetches (Section 4.2 replay steps 2-4). All records of a
+		// fetched block enter the stream queue; prefetch issue is still
+		// paced by the SAB's lookahead window.
+		rpb := uint64(r.sh.cfg.RecordsPerBlock())
+		var delay int64
+		got := 0
+		for reads := 0; got < want && reads < 2; reads++ {
+			if !r.sh.buf.Valid(pos) {
+				break
+			}
+			blockEnd := pos - pos%rpb + rpb
+			n := int(blockEnd - pos)
+			r.tmp = r.tmp[:0]
+			recs, next := r.sh.buf.ReadSeq(r.tmp, pos, n)
+			if len(recs) == 0 {
+				break
+			}
+			delay += r.sh.backend.ReadHistoryBlock(r.coreID, r.sh.hbBlockFor(pos))
+			r.stats.HistoryReads++
+			r.sab.FillRegions(si, recs, pos, next)
+			got += len(recs)
+			pos = next
+		}
+		return delay
+	}
+	return 0
+}
+
+// emitWindow issues prefetch requests for the stream's un-issued records
+// inside the lookahead window, skipping the block being demand-fetched.
+func (r *Replayer) emitWindow(si int, current trace.BlockAddr, delay int64) {
+	r.tmp = r.sab.TakePrefetchWindow(si, r.tmp[:0])
+	for _, rec := range r.tmp {
+		r.blks = rec.Blocks(r.blks[:0], r.sh.cfg.SAB.Span)
+		for _, b := range r.blks {
+			if b != current {
+				r.out = append(r.out, prefetch.Request{Block: b, Delay: delay})
+			}
+		}
+	}
+}
+
+var (
+	_ prefetch.Prefetcher    = (*Replayer)(nil)
+	_ prefetch.StatsReporter = (*Replayer)(nil)
+)

@@ -1,0 +1,322 @@
+// Package core implements SHIFT, the paper's contribution: a shared-
+// history instruction prefetcher for lean-core server CMPs (Section 4).
+//
+// One history generator core records its retire-order instruction-cache
+// access stream as spatial region records into a single history buffer
+// shared by all cores running the workload. Every core owns only a light
+// stream-address-buffer file and replays the shared history to prefetch.
+//
+// Two variants are provided:
+//
+//   - Dedicated: the history buffer and index table are dedicated SRAM
+//     reachable in zero cycles. This is the paper's "ZeroLat-SHIFT"
+//     comparison point (Section 5.3), which isolates SHIFT's prediction
+//     quality from its LLC-residency costs.
+//
+//   - Virtualized: the history buffer lives in the LLC at a reserved,
+//     non-evictable physical range starting at HBBase, written through a
+//     12-record cache-block buffer (CBB); the index table is folded into
+//     the LLC tag array as a pointer per instruction-block tag
+//     (Section 4.2). History reads/writes and index updates become LLC
+//     traffic with real latency, mediated by the LLCBackend interface.
+//
+// Workload consolidation (Section 4.3) instantiates one SharedHistory per
+// workload, each with its own generator core and HBBase; see NewGroups.
+package core
+
+import (
+	"fmt"
+
+	"shift/internal/history"
+	"shift/internal/trace"
+)
+
+// Variant selects the history storage implementation.
+type Variant int
+
+const (
+	// Dedicated is zero-latency dedicated storage (ZeroLat-SHIFT).
+	Dedicated Variant = iota
+	// Virtualized embeds the history in the LLC (the real SHIFT design).
+	Virtualized
+)
+
+// String names the variant as in the paper's figures.
+func (v Variant) String() string {
+	switch v {
+	case Dedicated:
+		return "ZeroLat-SHIFT"
+	case Virtualized:
+		return "SHIFT"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// HBBaseBlock is the default base block address of the reserved history
+// range (paper: "reserves a small portion of the physical address space
+// that is hidden from the operating system"). It sits far above both code
+// regions.
+const HBBaseBlock trace.BlockAddr = 0xC000000
+
+// LLCBackend is what virtualized SHIFT needs from the LLC and
+// interconnect. The simulator implements it; unit tests use fakes.
+type LLCBackend interface {
+	// PointerFor returns the index pointer piggybacked on core's demand
+	// LLC access for instruction block blk (Section 4.2 replay step 1).
+	// ok is false when the block is not LLC-resident or has no pointer.
+	PointerFor(core int, blk trace.BlockAddr) (ptr uint32, ok bool)
+	// UpdatePointer sets blk's pointer in the LLC tag array, if blk is
+	// resident (recording step 2). It accounts index-update traffic and
+	// reports whether the update landed.
+	UpdatePointer(core int, blk trace.BlockAddr, ptr uint32) bool
+	// ReadHistoryBlock accounts a history-buffer block read by core and
+	// returns the round-trip latency in cycles (replay steps 2-3).
+	ReadHistoryBlock(core int, hbBlock trace.BlockAddr) int64
+	// WriteHistoryBlock accounts a CBB flush into the LLC (recording
+	// step 4) and returns its latency.
+	WriteHistoryBlock(core int, hbBlock trace.BlockAddr) int64
+}
+
+// Config parameterizes one shared history and its per-core replay logic.
+type Config struct {
+	// Variant selects dedicated (ZeroLat) or LLC-virtualized storage.
+	Variant Variant
+	// HistEntries is the shared history capacity in region records
+	// (32K in the paper's design).
+	HistEntries int
+	// GeneratorCore is the single core that records the history
+	// ("one core picked at random", Section 6.1).
+	GeneratorCore int
+	// SAB configures each core's stream address buffers.
+	SAB history.SABConfig
+	// HBBase is the base block address of the virtualized history range.
+	HBBase trace.BlockAddr
+	// AllocOnAccess makes replay start on any uncovered access rather
+	// than only on misses; used by the Section 3 commonality study,
+	// which replays streams at access granularity.
+	AllocOnAccess bool
+	// IndexEntries/IndexAssoc size the dedicated variant's index table.
+	// Zero means one entry per history record (the virtualized design's
+	// effective capacity is the whole LLC tag array, so the dedicated
+	// stand-in is not artificially capacity-limited).
+	IndexEntries, IndexAssoc int
+}
+
+// DefaultConfig is the paper's SHIFT design point.
+func DefaultConfig() Config {
+	return Config{
+		Variant:       Virtualized,
+		HistEntries:   32768,
+		GeneratorCore: 0,
+		SAB:           history.DefaultSABConfig(),
+		HBBase:        HBBaseBlock,
+	}
+}
+
+// Validate reports the first problem with c, or nil.
+func (c Config) Validate() error {
+	if c.HistEntries <= 0 {
+		return fmt.Errorf("core: HistEntries %d <= 0", c.HistEntries)
+	}
+	if c.GeneratorCore < 0 {
+		return fmt.Errorf("core: GeneratorCore %d < 0", c.GeneratorCore)
+	}
+	if c.Variant != Dedicated && c.Variant != Virtualized {
+		return fmt.Errorf("core: unknown variant %d", c.Variant)
+	}
+	if c.IndexEntries < 0 {
+		return fmt.Errorf("core: IndexEntries %d < 0", c.IndexEntries)
+	}
+	if c.IndexEntries > 0 && (c.IndexAssoc <= 0 || c.IndexEntries%c.IndexAssoc != 0) {
+		return fmt.Errorf("core: bad index table %d/%d", c.IndexEntries, c.IndexAssoc)
+	}
+	return c.SAB.Validate()
+}
+
+// RecordsPerBlock returns how many region records share one history cache
+// block (12 at the paper's span of 8).
+func (c Config) RecordsPerBlock() int { return history.RecordsPerCacheBlock(c.SAB.Span) }
+
+// HistoryBlocks returns the number of LLC blocks the virtualized history
+// occupies (2,731 at the paper's design point).
+func (c Config) HistoryBlocks() int {
+	rpb := c.RecordsPerBlock()
+	return (c.HistEntries + rpb - 1) / rpb
+}
+
+// HistoryFootprintBytes returns the LLC capacity consumed by the history
+// (171KB at the paper's design point).
+func (c Config) HistoryFootprintBytes() int {
+	return c.HistoryBlocks() * trace.BlockBytes
+}
+
+// HBRange returns the [lo, hi) block range of the virtualized history.
+func (c Config) HBRange() (lo, hi trace.BlockAddr) {
+	return c.HBBase, c.HBBase + trace.BlockAddr(c.HistoryBlocks())
+}
+
+// SharedHistory is the single history shared by all cores running one
+// workload: the generator-side recording state plus the storage.
+type SharedHistory struct {
+	cfg     Config
+	buf     *history.Buffer
+	index   *history.IndexTable // dedicated variant only
+	builder *history.Builder
+	backend LLCBackend // virtualized variant only
+
+	// generator is the core currently recording the history. It starts
+	// at cfg.GeneratorCore and may be rotated at runtime (the Section 6.1
+	// sampling mechanism for long-lasting control-flow deviations).
+	generator int
+	rotations int64
+
+	cbbCount int // records accumulated in the cache-block buffer
+
+	// Shared-side statistics.
+	recordsWritten int64
+	histWrites     int64
+	indexUpdates   int64
+	indexDropped   int64 // updates dropped because the trigger left the LLC
+}
+
+// NewSharedHistory builds the shared history. backend is required for the
+// Virtualized variant and ignored for Dedicated.
+func NewSharedHistory(cfg Config, backend LLCBackend) (*SharedHistory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Variant == Virtualized && backend == nil {
+		return nil, fmt.Errorf("core: virtualized SHIFT requires an LLC backend")
+	}
+	sh := &SharedHistory{cfg: cfg, backend: backend, generator: cfg.GeneratorCore}
+	sh.buf = history.MustNewBuffer(cfg.HistEntries)
+	sh.builder = history.MustNewBuilder(cfg.SAB.Span)
+	if cfg.Variant == Dedicated {
+		entries, assoc := cfg.IndexEntries, cfg.IndexAssoc
+		if entries == 0 {
+			entries, assoc = cfg.HistEntries, 8
+			for entries%assoc != 0 {
+				entries++
+			}
+		}
+		sh.index = history.MustNewIndexTable(entries, assoc)
+	}
+	return sh, nil
+}
+
+// MustNewSharedHistory panics on config errors.
+func MustNewSharedHistory(cfg Config, backend LLCBackend) *SharedHistory {
+	sh, err := NewSharedHistory(cfg, backend)
+	if err != nil {
+		panic(err)
+	}
+	return sh
+}
+
+// Config returns the configuration.
+func (sh *SharedHistory) Config() Config { return sh.cfg }
+
+// Generator returns the core currently recording the shared history.
+func (sh *SharedHistory) Generator() int { return sh.generator }
+
+// SetGenerator hands history recording over to another core (Section 6.1:
+// "a sampling mechanism that monitors the instruction miss coverage and
+// changes the history generator core accordingly"). The region builder
+// and cache-block buffer restart; history contents and index pointers
+// remain valid, so replay continues uninterrupted.
+func (sh *SharedHistory) SetGenerator(coreID int) {
+	if coreID == sh.generator {
+		return
+	}
+	sh.generator = coreID
+	sh.builder = history.MustNewBuilder(sh.cfg.SAB.Span)
+	sh.cbbCount = 0
+	sh.rotations++
+}
+
+// Rotations returns how many times the generator role moved.
+func (sh *SharedHistory) Rotations() int64 { return sh.rotations }
+
+// hbBlockFor maps an absolute record position to its LLC-resident history
+// block (write pointer + HBBase, Section 4.2 recording step 3).
+func (sh *SharedHistory) hbBlockFor(pos uint64) trace.BlockAddr {
+	slot := pos % uint64(sh.cfg.HistEntries)
+	return sh.cfg.HBBase + trace.BlockAddr(slot/uint64(sh.cfg.RecordsPerBlock()))
+}
+
+// record consumes one retired block access of the generator core. It
+// reports whether a completed region record was appended to the history.
+func (sh *SharedHistory) record(coreID int, blk trace.BlockAddr) bool {
+	rec, done := sh.builder.Add(blk)
+	if !done {
+		return false
+	}
+	pos := sh.buf.Append(rec)
+	sh.recordsWritten++
+	switch sh.cfg.Variant {
+	case Dedicated:
+		sh.index.Update(rec.Trigger, pos)
+		sh.indexUpdates++
+	case Virtualized:
+		// Index update request to the LLC for the trigger address,
+		// carrying the current write pointer (recording step 2). The
+		// update is dropped if the trigger block is not LLC-resident.
+		sh.indexUpdates++
+		if !sh.backend.UpdatePointer(coreID, rec.Trigger, uint32(pos)) {
+			sh.indexDropped++
+		}
+		// Accumulate into the CBB; flush a full block to the LLC
+		// (recording steps 1, 3, 4).
+		sh.cbbCount++
+		if sh.cbbCount >= sh.cfg.RecordsPerBlock() {
+			sh.backend.WriteHistoryBlock(coreID, sh.hbBlockFor(pos))
+			sh.histWrites++
+			sh.cbbCount = 0
+		}
+	}
+	return true
+}
+
+// lookup finds the history position to replay from for a missed block.
+func (sh *SharedHistory) lookup(coreID int, blk trace.BlockAddr) (uint64, bool) {
+	switch sh.cfg.Variant {
+	case Dedicated:
+		pos, ok := sh.index.Lookup(blk)
+		if !ok || !sh.buf.Valid(pos) {
+			return 0, false
+		}
+		return pos, true
+	case Virtualized:
+		ptr, ok := sh.backend.PointerFor(coreID, blk)
+		if !ok {
+			return 0, false
+		}
+		pos := uint64(ptr)
+		if !sh.buf.Valid(pos) {
+			return 0, false // pointer refers to overwritten history
+		}
+		return pos, true
+	}
+	return 0, false
+}
+
+// SharedStats reports generator-side counters.
+type SharedStats struct {
+	RecordsWritten int64
+	HistWrites     int64
+	IndexUpdates   int64
+	IndexDropped   int64
+	WritePos       uint64
+}
+
+// Stats returns the shared-side counters.
+func (sh *SharedHistory) Stats() SharedStats {
+	return SharedStats{
+		RecordsWritten: sh.recordsWritten,
+		HistWrites:     sh.histWrites,
+		IndexUpdates:   sh.indexUpdates,
+		IndexDropped:   sh.indexDropped,
+		WritePos:       sh.buf.WritePos(),
+	}
+}

@@ -1,0 +1,88 @@
+package history
+
+import "fmt"
+
+// Buffer is the circular history buffer of spatial region records
+// (Section 4.1: "The history buffer, logically organized as a circular
+// buffer, maintains the stream of retired instructions as a queue of
+// spatial region records").
+//
+// Positions are absolute (monotonically increasing), so a stale index
+// pointer to an overwritten entry is detected rather than silently
+// replaying unrelated records.
+type Buffer struct {
+	records []Region
+	next    uint64 // absolute position of the next write
+}
+
+// NewBuffer allocates a history buffer with the given record capacity.
+func NewBuffer(capacity int) (*Buffer, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("history: buffer capacity %d <= 0", capacity)
+	}
+	return &Buffer{records: make([]Region, capacity)}, nil
+}
+
+// MustNewBuffer panics on config errors.
+func MustNewBuffer(capacity int) *Buffer {
+	b, err := NewBuffer(capacity)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Cap returns the record capacity.
+func (b *Buffer) Cap() int { return len(b.records) }
+
+// WritePos returns the absolute position the next Append will write to
+// (the paper's write pointer).
+func (b *Buffer) WritePos() uint64 { return b.next }
+
+// Append stores r and returns its absolute position.
+func (b *Buffer) Append(r Region) uint64 {
+	pos := b.next
+	b.records[pos%uint64(len(b.records))] = r
+	b.next++
+	return pos
+}
+
+// Valid reports whether pos still refers to live (not yet overwritten)
+// history.
+func (b *Buffer) Valid(pos uint64) bool {
+	if pos >= b.next {
+		return false
+	}
+	return b.next-pos <= uint64(len(b.records))
+}
+
+// Read returns the record at absolute position pos.
+func (b *Buffer) Read(pos uint64) (Region, bool) {
+	if !b.Valid(pos) {
+		return Region{}, false
+	}
+	return b.records[pos%uint64(len(b.records))], true
+}
+
+// ReadSeq appends up to n consecutive records starting at pos to dst,
+// stopping at the write pointer or at the first invalid position. It
+// returns the extended slice and the position after the last record read.
+func (b *Buffer) ReadSeq(dst []Region, pos uint64, n int) ([]Region, uint64) {
+	for i := 0; i < n; i++ {
+		r, ok := b.Read(pos)
+		if !ok {
+			break
+		}
+		dst = append(dst, r)
+		pos++
+	}
+	return dst, pos
+}
+
+// Len returns the number of live records (saturates at capacity).
+func (b *Buffer) Len() int {
+	if b.next < uint64(len(b.records)) {
+		return int(b.next)
+	}
+	return len(b.records)
+}

@@ -1,0 +1,312 @@
+package history
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shift/internal/trace"
+)
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Trigger: 100, Vec: 0b0000101} // +1 and +3
+	span := 8
+	if !r.Contains(100, span) {
+		t.Error("trigger not contained")
+	}
+	if !r.Contains(101, span) || !r.Contains(103, span) {
+		t.Error("vector blocks not contained")
+	}
+	if r.Contains(102, span) || r.Contains(104, span) || r.Contains(99, span) || r.Contains(108, span) {
+		t.Error("uncovered blocks reported contained")
+	}
+}
+
+func TestRegionBlocksAndCount(t *testing.T) {
+	r := Region{Trigger: 10, Vec: 0b1000001}
+	got := r.Blocks(nil, 8)
+	want := []trace.BlockAddr{10, 11, 17}
+	if len(got) != len(want) {
+		t.Fatalf("Blocks = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Blocks = %v, want %v", got, want)
+		}
+	}
+	if r.Count(8) != 3 {
+		t.Errorf("Count = %d, want 3", r.Count(8))
+	}
+	if r.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestRegionBlocksContainsAgreeProperty(t *testing.T) {
+	f := func(trigger uint32, vec uint16, probe uint8) bool {
+		r := Region{Trigger: trace.BlockAddr(trigger), Vec: vec & 0x7F}
+		span := 8
+		blocks := r.Blocks(nil, span)
+		inList := false
+		b := trace.BlockAddr(trigger) + trace.BlockAddr(probe%10)
+		for _, x := range blocks {
+			if x == b {
+				inList = true
+			}
+		}
+		return inList == r.Contains(b, span)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStorageMathMatchesPaper(t *testing.T) {
+	// Section 4.2: 34-bit trigger + 7-bit vector = 41 bits; 12 records per
+	// 64-byte block.
+	if got := BitsPerRecord(8); got != 41 {
+		t.Errorf("BitsPerRecord(8) = %d, want 41", got)
+	}
+	if got := RecordsPerCacheBlock(8); got != 12 {
+		t.Errorf("RecordsPerCacheBlock(8) = %d, want 12", got)
+	}
+}
+
+func TestBuilderSequence(t *testing.T) {
+	b := MustNewBuilder(8)
+	// Paper Figure 4(a): access stream A, A+2, A+3, B  => record (A, 0110).
+	// With bit i meaning trigger+i+1: +2 sets bit 1, +3 sets bit 2.
+	A := trace.BlockAddr(1000)
+	B := trace.BlockAddr(5000)
+	for _, blk := range []trace.BlockAddr{A, A + 2, A + 3} {
+		if _, done := b.Add(blk); done {
+			t.Fatal("region closed early")
+		}
+	}
+	rec, done := b.Add(B)
+	if !done {
+		t.Fatal("region not closed by out-of-region access")
+	}
+	if rec.Trigger != A || rec.Vec != 0b0000110 {
+		t.Errorf("record = %+v, want trigger A vec 0110", rec)
+	}
+	// Flush yields the open region for B.
+	rec, ok := b.Flush()
+	if !ok || rec.Trigger != B {
+		t.Errorf("Flush = %+v, %v", rec, ok)
+	}
+	if _, ok := b.Flush(); ok {
+		t.Error("second Flush should be empty")
+	}
+}
+
+func TestBuilderRepeatedTrigger(t *testing.T) {
+	b := MustNewBuilder(8)
+	b.Add(50)
+	if _, done := b.Add(50); done {
+		t.Error("re-access of trigger closed region")
+	}
+	rec, _ := b.Flush()
+	if rec.Vec != 0 {
+		t.Errorf("vec = %#x, want 0", rec.Vec)
+	}
+}
+
+func TestBuilderBackwardAccessCloses(t *testing.T) {
+	b := MustNewBuilder(8)
+	b.Add(100)
+	rec, done := b.Add(99) // backward: outside region
+	if !done || rec.Trigger != 100 {
+		t.Errorf("backward access: rec=%+v done=%v", rec, done)
+	}
+}
+
+func TestBuilderSpanValidation(t *testing.T) {
+	if _, err := NewBuilder(1); err == nil {
+		t.Error("span 1 accepted")
+	}
+	if _, err := NewBuilder(17); err == nil {
+		t.Error("span 17 accepted")
+	}
+	if b, err := NewBuilder(0); err != nil || b.Span() != DefaultRegionSpan {
+		t.Errorf("span 0 should default to %d", DefaultRegionSpan)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewBuilder should panic")
+		}
+	}()
+	MustNewBuilder(99)
+}
+
+func TestBufferAppendRead(t *testing.T) {
+	b := MustNewBuffer(4)
+	if b.Len() != 0 || b.WritePos() != 0 {
+		t.Fatal("new buffer not empty")
+	}
+	p0 := b.Append(Region{Trigger: 1})
+	p1 := b.Append(Region{Trigger: 2})
+	if p0 != 0 || p1 != 1 {
+		t.Fatalf("positions %d, %d", p0, p1)
+	}
+	if r, ok := b.Read(p0); !ok || r.Trigger != 1 {
+		t.Errorf("Read(p0) = %+v, %v", r, ok)
+	}
+	if _, ok := b.Read(99); ok {
+		t.Error("read past write pointer succeeded")
+	}
+}
+
+func TestBufferWrapInvalidation(t *testing.T) {
+	b := MustNewBuffer(4)
+	positions := make([]uint64, 6)
+	for i := 0; i < 6; i++ {
+		positions[i] = b.Append(Region{Trigger: trace.BlockAddr(i)})
+	}
+	// Capacity 4: positions 0 and 1 are overwritten.
+	for i := 0; i < 2; i++ {
+		if b.Valid(positions[i]) {
+			t.Errorf("position %d still valid after wrap", i)
+		}
+	}
+	for i := 2; i < 6; i++ {
+		r, ok := b.Read(positions[i])
+		if !ok || r.Trigger != trace.BlockAddr(i) {
+			t.Errorf("position %d: %+v, %v", i, r, ok)
+		}
+	}
+	if b.Len() != 4 {
+		t.Errorf("Len = %d, want 4", b.Len())
+	}
+}
+
+func TestBufferReadSeq(t *testing.T) {
+	b := MustNewBuffer(8)
+	for i := 0; i < 5; i++ {
+		b.Append(Region{Trigger: trace.BlockAddr(i)})
+	}
+	recs, next := b.ReadSeq(nil, 2, 10)
+	if len(recs) != 3 || next != 5 {
+		t.Fatalf("ReadSeq = %d recs, next %d; want 3, 5", len(recs), next)
+	}
+	for i, r := range recs {
+		if r.Trigger != trace.BlockAddr(2+i) {
+			t.Errorf("rec %d = %+v", i, r)
+		}
+	}
+}
+
+func TestBufferValidityProperty(t *testing.T) {
+	f := func(appends uint16, probe uint16) bool {
+		b := MustNewBuffer(16)
+		n := uint64(appends % 200)
+		for i := uint64(0); i < n; i++ {
+			b.Append(Region{})
+		}
+		p := uint64(probe)
+		want := p < n && n-p <= 16
+		return b.Valid(p) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBufferRejectsBadCap(t *testing.T) {
+	if _, err := NewBuffer(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewBuffer should panic")
+		}
+	}()
+	MustNewBuffer(-1)
+}
+
+func TestIndexTableBasic(t *testing.T) {
+	it := MustNewIndexTable(8, 4)
+	if it.Cap() != 8 {
+		t.Fatalf("Cap = %d", it.Cap())
+	}
+	if _, ok := it.Lookup(5); ok {
+		t.Fatal("hit in empty table")
+	}
+	it.Update(5, 123)
+	if pos, ok := it.Lookup(5); !ok || pos != 123 {
+		t.Fatalf("Lookup = %d, %v", pos, ok)
+	}
+	it.Update(5, 456) // update in place
+	if pos, _ := it.Lookup(5); pos != 456 {
+		t.Errorf("updated pos = %d, want 456", pos)
+	}
+	if it.Len() != 1 {
+		t.Errorf("Len = %d, want 1", it.Len())
+	}
+	if hr := it.HitRate(); hr <= 0 || hr > 1 {
+		t.Errorf("HitRate = %v", hr)
+	}
+}
+
+func TestIndexTableCapacityEviction(t *testing.T) {
+	it := MustNewIndexTable(8, 4) // 2 sets of 4
+	// Fill one set (triggers = even numbers map to set 0 with 2 sets).
+	for i := 0; i < 8; i++ {
+		it.Update(trace.BlockAddr(i*2), uint64(i))
+	}
+	if it.Len() > 8 {
+		t.Errorf("Len = %d exceeds capacity", it.Len())
+	}
+	// The oldest entries in the overfilled set must be gone.
+	if _, ok := it.Lookup(0); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := it.Lookup(14); !ok {
+		t.Error("MRU entry evicted")
+	}
+}
+
+func TestIndexTableLRUTouchOnLookup(t *testing.T) {
+	it := MustNewIndexTable(4, 4)
+	for i := 0; i < 4; i++ {
+		it.Update(trace.BlockAddr(i), uint64(i))
+	}
+	it.Lookup(0) // make 0 MRU
+	it.Update(100, 99)
+	if _, ok := it.Lookup(0); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, ok := it.Lookup(1); ok {
+		t.Error("LRU entry survived")
+	}
+}
+
+func TestIndexTableValidation(t *testing.T) {
+	if _, err := NewIndexTable(0, 1); err == nil {
+		t.Error("zero entries accepted")
+	}
+	if _, err := NewIndexTable(8, 3); err == nil {
+		t.Error("non-dividing assoc accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewIndexTable should panic")
+		}
+	}()
+	MustNewIndexTable(8, 0)
+}
+
+func TestIndexTableCapProperty(t *testing.T) {
+	f := func(updates []uint16) bool {
+		it := MustNewIndexTable(16, 4)
+		for i, u := range updates {
+			it.Update(trace.BlockAddr(u), uint64(i))
+			if it.Len() > 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

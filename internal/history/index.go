@@ -1,0 +1,124 @@
+package history
+
+import (
+	"fmt"
+
+	"shift/internal/trace"
+)
+
+// IndexTable maps trigger instruction-block addresses to the absolute
+// history-buffer position of their most recent occurrence (Section 4.1:
+// "each entry is tagged with a trigger instruction block address and
+// stores a pointer to that block's most recent occurrence").
+//
+// It is organized as a set-associative, LRU-replaced structure so that
+// the capacity-limited design points of the paper (PIF's 8K-entry and
+// 512-entry index tables) behave like the hardware they model.
+type IndexTable struct {
+	assoc   int
+	sets    [][]idxEntry
+	clock   uint64
+	entries int
+
+	lookups int64
+	hits    int64
+}
+
+type idxEntry struct {
+	trigger trace.BlockAddr
+	pos     uint64
+	lru     uint64
+	valid   bool
+}
+
+// NewIndexTable builds a table with `entries` total entries and the given
+// associativity.
+func NewIndexTable(entries, assoc int) (*IndexTable, error) {
+	if entries <= 0 {
+		return nil, fmt.Errorf("history: index entries %d <= 0", entries)
+	}
+	if assoc <= 0 || entries%assoc != 0 {
+		return nil, fmt.Errorf("history: index assoc %d does not divide entries %d", assoc, entries)
+	}
+	nsets := entries / assoc
+	t := &IndexTable{assoc: assoc, entries: entries, sets: make([][]idxEntry, nsets)}
+	backing := make([]idxEntry, entries)
+	for i := range t.sets {
+		t.sets[i] = backing[i*assoc : (i+1)*assoc]
+	}
+	return t, nil
+}
+
+// MustNewIndexTable panics on config errors.
+func MustNewIndexTable(entries, assoc int) *IndexTable {
+	t, err := NewIndexTable(entries, assoc)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Cap returns the total entry capacity.
+func (t *IndexTable) Cap() int { return t.entries }
+
+func (t *IndexTable) set(trigger trace.BlockAddr) []idxEntry {
+	return t.sets[uint64(trigger)%uint64(len(t.sets))]
+}
+
+// Lookup returns the stored history position for trigger.
+func (t *IndexTable) Lookup(trigger trace.BlockAddr) (pos uint64, ok bool) {
+	t.lookups++
+	set := t.set(trigger)
+	for i := range set {
+		if set[i].valid && set[i].trigger == trigger {
+			t.clock++
+			set[i].lru = t.clock
+			t.hits++
+			return set[i].pos, true
+		}
+	}
+	return 0, false
+}
+
+// Update points trigger at pos, allocating (and possibly evicting LRU)
+// as needed.
+func (t *IndexTable) Update(trigger trace.BlockAddr, pos uint64) {
+	set := t.set(trigger)
+	t.clock++
+	victim := 0
+	var victimLRU uint64 = ^uint64(0)
+	for i := range set {
+		if set[i].valid && set[i].trigger == trigger {
+			set[i].pos = pos
+			set[i].lru = t.clock
+			return
+		}
+		if !set[i].valid {
+			victim, victimLRU = i, 0
+		} else if set[i].lru < victimLRU {
+			victim, victimLRU = i, set[i].lru
+		}
+	}
+	set[victim] = idxEntry{trigger: trigger, pos: pos, lru: t.clock, valid: true}
+}
+
+// Len returns the number of valid entries.
+func (t *IndexTable) Len() int {
+	n := 0
+	for _, set := range t.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// HitRate returns the fraction of lookups that hit (1.0 if none yet).
+func (t *IndexTable) HitRate() float64 {
+	if t.lookups == 0 {
+		return 1
+	}
+	return float64(t.hits) / float64(t.lookups)
+}

@@ -1,0 +1,273 @@
+package history
+
+import (
+	"fmt"
+
+	"shift/internal/trace"
+)
+
+// SABConfig sizes the per-core stream address buffers. Defaults are the
+// paper's tuned values (Section 4.1): four streams, twelve records per
+// stream, lookahead of five records.
+type SABConfig struct {
+	// Streams is the number of concurrent streams replayed per core
+	// ("multiple stream buffers (four in our design) to replay multiple
+	// streams, which may arise due to frequent traps and context
+	// switches").
+	Streams int
+	// Capacity is the maximum region records queued per stream.
+	Capacity int
+	// Lookahead is how many records ahead of the stream head are read
+	// from the history buffer when a stream starts or advances.
+	Lookahead int
+	// Span is the spatial region span used for Contains tests.
+	Span int
+}
+
+// DefaultSABConfig returns the paper's tuned parameters.
+func DefaultSABConfig() SABConfig {
+	return SABConfig{Streams: 4, Capacity: 12, Lookahead: 5, Span: DefaultRegionSpan}
+}
+
+// Validate reports the first problem with c, or nil.
+func (c SABConfig) Validate() error {
+	switch {
+	case c.Streams <= 0:
+		return fmt.Errorf("history: SAB streams %d <= 0", c.Streams)
+	case c.Capacity <= 0:
+		return fmt.Errorf("history: SAB capacity %d <= 0", c.Capacity)
+	case c.Lookahead <= 0:
+		return fmt.Errorf("history: SAB lookahead %d <= 0", c.Lookahead)
+	case c.Span < 2 || c.Span > MaxRegionSpan:
+		return fmt.Errorf("history: SAB span %d out of [2,%d]", c.Span, MaxRegionSpan)
+	}
+	return nil
+}
+
+// posRegion is a region record together with its history position.
+type posRegion struct {
+	pos uint64
+	r   Region
+}
+
+// stream is one replay context: a queue of upcoming region records and
+// the history position from which to read further records. pfIdx marks
+// how many records from the queue head have already been issued as
+// prefetches; the issue window never runs more than Lookahead records
+// ahead of the replay point, bounding the prefetches wasted when the
+// stream is abandoned.
+type stream struct {
+	regions []posRegion
+	pfIdx   int
+	nextPos uint64
+	lastUse uint64
+	live    bool
+}
+
+// SAB is one core's stream address buffer file.
+type SAB struct {
+	cfg     SABConfig
+	streams []stream
+	clock   uint64
+
+	allocs    int64
+	advances  int64
+	evictions int64
+}
+
+// NewSAB builds a stream address buffer file.
+func NewSAB(cfg SABConfig) (*SAB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &SAB{cfg: cfg, streams: make([]stream, cfg.Streams)}, nil
+}
+
+// MustNewSAB panics on config errors.
+func MustNewSAB(cfg SABConfig) *SAB {
+	s, err := NewSAB(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the SAB configuration.
+func (s *SAB) Config() SABConfig { return s.cfg }
+
+// Covers reports whether blk falls inside any queued region of any live
+// stream, without modifying state.
+func (s *SAB) Covers(blk trace.BlockAddr) bool {
+	_, _, ok := s.find(blk)
+	return ok
+}
+
+// find locates the first (stream, region) covering blk.
+func (s *SAB) find(blk trace.BlockAddr) (si, ri int, ok bool) {
+	for si := range s.streams {
+		st := &s.streams[si]
+		if !st.live {
+			continue
+		}
+		for ri := range st.regions {
+			if st.regions[ri].r.Contains(blk, s.cfg.Span) {
+				return si, ri, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// Advance consumes a retired/fetched block. If a live stream covers blk,
+// records queued before the covering record are dropped (the stream has
+// moved past them), and the call returns the stream index and how many
+// replacement records the caller should read from the history buffer to
+// keep Lookahead records in flight ahead of the core. Capacity only
+// bounds storage; the issue window is the lookahead, which bounds the
+// prefetches wasted when a stream is abandoned.
+func (s *SAB) Advance(blk trace.BlockAddr) (si, needed int, ok bool) {
+	si, ri, ok := s.find(blk)
+	if !ok {
+		return 0, 0, false
+	}
+	st := &s.streams[si]
+	if ri > 0 {
+		st.regions = append(st.regions[:0], st.regions[ri:]...)
+		st.pfIdx -= ri
+		if st.pfIdx < 0 {
+			st.pfIdx = 0
+		}
+	}
+	s.clock++
+	st.lastUse = s.clock
+	s.advances++
+	needed = s.cfg.Lookahead - len(st.regions)
+	if max := s.cfg.Capacity - len(st.regions); needed > max {
+		needed = max
+	}
+	if needed < 0 {
+		needed = 0
+	}
+	return si, needed, true
+}
+
+// Alloc claims a stream for a new replay, evicting the least recently
+// used live stream if all are busy. The returned stream is empty.
+func (s *SAB) Alloc() int {
+	victim := 0
+	var victimUse uint64 = ^uint64(0)
+	for i := range s.streams {
+		if !s.streams[i].live {
+			victim, victimUse = i, 0
+			break
+		}
+		if s.streams[i].lastUse < victimUse {
+			victim, victimUse = i, s.streams[i].lastUse
+		}
+	}
+	if s.streams[victim].live {
+		s.evictions++
+	}
+	s.clock++
+	s.streams[victim] = stream{live: true, lastUse: s.clock}
+	s.allocs++
+	return victim
+}
+
+// Fill appends records (with their history positions) to stream si and
+// sets the position from which subsequent reads continue. If the queue
+// exceeds capacity, the oldest records are evicted (Section 4.1: "the
+// oldest spatial region record is evicted to make space").
+func (s *SAB) Fill(si int, recs []posRegion, nextPos uint64) {
+	st := &s.streams[si]
+	if !st.live {
+		return
+	}
+	st.regions = append(st.regions, recs...)
+	if over := len(st.regions) - s.cfg.Capacity; over > 0 {
+		st.regions = append(st.regions[:0], st.regions[over:]...)
+		st.pfIdx -= over
+		if st.pfIdx < 0 {
+			st.pfIdx = 0
+		}
+	}
+	st.nextPos = nextPos
+}
+
+// TakePrefetchWindow appends to dst the queued records of stream si that
+// are inside the issue window (the first Lookahead records of the queue)
+// and have not been issued yet, marking them issued. Prefetch issue is
+// thus decoupled from history read granularity: virtualized SHIFT reads
+// whole 12-record history blocks into the queue, but prefetches still
+// trickle out at the lookahead rate as the stream advances.
+func (s *SAB) TakePrefetchWindow(si int, dst []Region) []Region {
+	st := &s.streams[si]
+	if !st.live {
+		return dst
+	}
+	end := s.cfg.Lookahead
+	if end > len(st.regions) {
+		end = len(st.regions)
+	}
+	for i := st.pfIdx; i < end; i++ {
+		dst = append(dst, st.regions[i].r)
+	}
+	if end > st.pfIdx {
+		st.pfIdx = end
+	}
+	return dst
+}
+
+// FillRegions is Fill for callers that track positions themselves.
+func (s *SAB) FillRegions(si int, recs []Region, basePos, nextPos uint64) {
+	tmp := make([]posRegion, len(recs))
+	for i, r := range recs {
+		tmp[i] = posRegion{pos: basePos + uint64(i), r: r}
+	}
+	s.Fill(si, tmp, nextPos)
+}
+
+// NextPos returns the history position stream si continues reading from.
+func (s *SAB) NextPos(si int) uint64 { return s.streams[si].nextPos }
+
+// StreamLen returns the queued record count of stream si.
+func (s *SAB) StreamLen(si int) int { return len(s.streams[si].regions) }
+
+// LiveStreams returns the number of live streams.
+func (s *SAB) LiveStreams() int {
+	n := 0
+	for i := range s.streams {
+		if s.streams[i].live {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset invalidates all streams (used at workload switches).
+func (s *SAB) Reset() {
+	for i := range s.streams {
+		s.streams[i] = stream{}
+	}
+}
+
+// Stats returns (allocations, advances, stream evictions).
+func (s *SAB) Stats() (allocs, advances, evictions int64) {
+	return s.allocs, s.advances, s.evictions
+}
+
+// CheckInvariants verifies stream bounds; used by property tests.
+func (s *SAB) CheckInvariants() error {
+	if len(s.streams) != s.cfg.Streams {
+		return fmt.Errorf("history: stream count %d != %d", len(s.streams), s.cfg.Streams)
+	}
+	for i := range s.streams {
+		if n := len(s.streams[i].regions); n > s.cfg.Capacity {
+			return fmt.Errorf("history: stream %d holds %d > capacity %d", i, n, s.cfg.Capacity)
+		}
+		if !s.streams[i].live && len(s.streams[i].regions) > 0 {
+			return fmt.Errorf("history: dead stream %d holds records", i)
+		}
+	}
+	return nil
+}

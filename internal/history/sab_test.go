@@ -1,0 +1,187 @@
+package history
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shift/internal/trace"
+)
+
+func sabCfg() SABConfig { return DefaultSABConfig() }
+
+func TestSABConfigValidate(t *testing.T) {
+	if err := DefaultSABConfig().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	if DefaultSABConfig().Streams != 4 || DefaultSABConfig().Capacity != 12 || DefaultSABConfig().Lookahead != 5 {
+		t.Error("defaults do not match the paper's tuned values (4 streams, 12 records, lookahead 5)")
+	}
+	bad := []SABConfig{
+		{Streams: 0, Capacity: 12, Lookahead: 5, Span: 8},
+		{Streams: 4, Capacity: 0, Lookahead: 5, Span: 8},
+		{Streams: 4, Capacity: 12, Lookahead: 0, Span: 8},
+		{Streams: 4, Capacity: 12, Lookahead: 5, Span: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSABAllocAndFill(t *testing.T) {
+	s := MustNewSAB(sabCfg())
+	si := s.Alloc()
+	s.FillRegions(si, []Region{{Trigger: 100, Vec: 0b11}}, 0, 1)
+	if !s.Covers(100) || !s.Covers(101) || !s.Covers(102) {
+		t.Error("filled region not covered")
+	}
+	if s.Covers(104) {
+		t.Error("uncovered block reported covered")
+	}
+	if s.NextPos(si) != 1 {
+		t.Errorf("NextPos = %d", s.NextPos(si))
+	}
+	if s.LiveStreams() != 1 {
+		t.Errorf("LiveStreams = %d", s.LiveStreams())
+	}
+}
+
+func TestSABAdvanceDropsPassedRegions(t *testing.T) {
+	s := MustNewSAB(sabCfg())
+	si := s.Alloc()
+	recs := []Region{{Trigger: 10}, {Trigger: 20}, {Trigger: 30}}
+	s.FillRegions(si, recs, 0, 3)
+	// Advance to the block in region 2 (trigger 30): regions 10 and 20
+	// are passed and must be dropped.
+	gotSi, needed, ok := s.Advance(30)
+	if !ok || gotSi != si {
+		t.Fatalf("Advance = %d, %v", gotSi, ok)
+	}
+	if s.StreamLen(si) != 1 {
+		t.Errorf("StreamLen = %d, want 1", s.StreamLen(si))
+	}
+	// The issue window tops up to Lookahead records: 1 remains queued,
+	// so 4 replacements are requested.
+	if needed != sabCfg().Lookahead-1 {
+		t.Errorf("needed = %d, want %d", needed, sabCfg().Lookahead-1)
+	}
+	if s.Covers(10) || s.Covers(20) {
+		t.Error("passed regions still covered")
+	}
+}
+
+func TestSABAdvanceMissReturnsFalse(t *testing.T) {
+	s := MustNewSAB(sabCfg())
+	if _, _, ok := s.Advance(42); ok {
+		t.Error("Advance hit in empty SAB")
+	}
+}
+
+func TestSABCapacityEviction(t *testing.T) {
+	cfg := sabCfg()
+	s := MustNewSAB(cfg)
+	si := s.Alloc()
+	recs := make([]Region, cfg.Capacity+5)
+	for i := range recs {
+		recs[i] = Region{Trigger: trace.BlockAddr(1000 + 100*i)}
+	}
+	s.FillRegions(si, recs, 0, uint64(len(recs)))
+	if s.StreamLen(si) != cfg.Capacity {
+		t.Errorf("StreamLen = %d, want %d", s.StreamLen(si), cfg.Capacity)
+	}
+	// Oldest records must have been evicted.
+	if s.Covers(1000) {
+		t.Error("oldest record survived over-capacity fill")
+	}
+	if !s.Covers(trace.BlockAddr(1000 + 100*(len(recs)-1))) {
+		t.Error("newest record missing")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSABLRUStreamReplacement(t *testing.T) {
+	cfg := sabCfg()
+	s := MustNewSAB(cfg)
+	sis := make([]int, cfg.Streams)
+	for i := range sis {
+		sis[i] = s.Alloc()
+		s.FillRegions(sis[i], []Region{{Trigger: trace.BlockAddr(100 * (i + 1))}}, 0, 0)
+	}
+	// Touch stream 0 so stream 1 is LRU.
+	s.Advance(100)
+	victim := s.Alloc()
+	if victim != sis[1] {
+		t.Errorf("Alloc evicted stream %d, want LRU stream %d", victim, sis[1])
+	}
+	_, advances, evictions := func() (int64, int64, int64) { return s.Stats() }()
+	if advances != 1 || evictions != 1 {
+		t.Errorf("advances=%d evictions=%d", advances, evictions)
+	}
+}
+
+func TestSABReset(t *testing.T) {
+	s := MustNewSAB(sabCfg())
+	si := s.Alloc()
+	s.FillRegions(si, []Region{{Trigger: 5}}, 0, 0)
+	s.Reset()
+	if s.LiveStreams() != 0 || s.Covers(5) {
+		t.Error("Reset did not clear streams")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSABFillDeadStreamIgnored(t *testing.T) {
+	s := MustNewSAB(sabCfg())
+	s.FillRegions(0, []Region{{Trigger: 5}}, 0, 0) // never allocated
+	if s.Covers(5) {
+		t.Error("fill of dead stream took effect")
+	}
+}
+
+func TestSABInvariantsProperty(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		s := MustNewSAB(sabCfg())
+		rng := trace.NewRNG(seed)
+		for _, op := range ops {
+			blk := trace.BlockAddr(op % 512)
+			switch rng.Intn(3) {
+			case 0:
+				si := s.Alloc()
+				n := 1 + rng.Intn(20)
+				recs := make([]Region, n)
+				for i := range recs {
+					recs[i] = Region{Trigger: blk + trace.BlockAddr(i*10), Vec: uint16(rng.Intn(128))}
+				}
+				s.FillRegions(si, recs, 0, uint64(n))
+			case 1:
+				s.Advance(blk)
+			case 2:
+				s.Covers(blk)
+			}
+			if err := s.CheckInvariants(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSABRejectsBadConfig(t *testing.T) {
+	if _, err := NewSAB(SABConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewSAB should panic")
+		}
+	}()
+	MustNewSAB(SABConfig{})
+}

@@ -1,0 +1,194 @@
+// Package noc models the on-chip interconnect of the simulated CMP: the
+// 4x4 2D mesh with 3 cycles/hop of Table I. It provides latency estimates
+// for core↔LLC-bank round trips and per-message-class traffic accounting,
+// which feeds both the Figure 9 LLC-traffic study and the Section 5.7
+// power analysis.
+//
+// The paper notes that LLC bandwidth is ample (utilization well under 10%),
+// so the mesh is modelled contention-free: latency is hop count times
+// per-hop delay, and traffic is accounted, not throttled.
+package noc
+
+import (
+	"fmt"
+
+	"shift/internal/trace"
+)
+
+// MsgClass labels the traffic classes distinguished in the paper's LLC
+// overhead analysis (Section 5.4).
+type MsgClass uint8
+
+const (
+	// DemandInstr is a demand instruction-block request + fill.
+	DemandInstr MsgClass = iota
+	// DemandData is a demand data-block request + fill.
+	DemandData
+	// PrefetchFill is a prefetch request + instruction block fill.
+	PrefetchFill
+	// HistRead is a history-buffer block read (the paper's "LogRead").
+	HistRead
+	// HistWrite is a history-buffer block write (the paper's "LogWrite").
+	HistWrite
+	// IndexUpdate is an index-pointer update (LLC tag array only).
+	IndexUpdate
+	// Discard is the fill of a mispredicted block that is evicted before
+	// use (counted when the discard is detected).
+	Discard
+	msgClassCount
+)
+
+var msgClassNames = [...]string{
+	"DemandInstr", "DemandData", "PrefetchFill",
+	"HistRead", "HistWrite", "IndexUpdate", "Discard",
+}
+
+// String names the class.
+func (m MsgClass) String() string {
+	if int(m) < len(msgClassNames) {
+		return msgClassNames[m]
+	}
+	return fmt.Sprintf("MsgClass(%d)", uint8(m))
+}
+
+// NumClasses is the number of message classes.
+const NumClasses = int(msgClassCount)
+
+// Config sizes the mesh.
+type Config struct {
+	// Width and Height are the mesh dimensions (4x4 in Table I).
+	Width, Height int
+	// HopCycles is the per-hop latency (3 in Table I).
+	HopCycles int
+}
+
+// DefaultConfig is the Table I mesh.
+func DefaultConfig() Config { return Config{Width: 4, Height: 4, HopCycles: 3} }
+
+// Validate reports the first problem with c, or nil.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("noc: bad mesh %dx%d", c.Width, c.Height)
+	}
+	if c.HopCycles < 0 {
+		return fmt.Errorf("noc: negative hop latency %d", c.HopCycles)
+	}
+	return nil
+}
+
+// Tiles returns the number of mesh tiles.
+func (c Config) Tiles() int { return c.Width * c.Height }
+
+// Mesh is the interconnect model plus its traffic counters.
+type Mesh struct {
+	cfg Config
+	// traffic[class] counts messages; hops[class] accumulates hop counts
+	// (for energy).
+	traffic [NumClasses]int64
+	hops    [NumClasses]int64
+}
+
+// New builds a mesh.
+func New(cfg Config) (*Mesh, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Mesh{cfg: cfg}, nil
+}
+
+// MustNew panics on config errors.
+func MustNew(cfg Config) *Mesh {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the mesh geometry.
+func (m *Mesh) Config() Config { return m.cfg }
+
+// coord returns the (x, y) position of tile t.
+func (m *Mesh) coord(t int) (x, y int) { return t % m.cfg.Width, t / m.cfg.Width }
+
+// Hops returns the Manhattan hop distance between tiles a and b.
+func (m *Mesh) Hops(a, b int) int {
+	ax, ay := m.coord(a)
+	bx, by := m.coord(b)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+// Latency returns the one-way latency in cycles between tiles a and b.
+func (m *Mesh) Latency(a, b int) int64 { return int64(m.Hops(a, b) * m.cfg.HopCycles) }
+
+// RoundTrip returns the request+response latency between tiles a and b.
+func (m *Mesh) RoundTrip(a, b int) int64 { return 2 * m.Latency(a, b) }
+
+// BankForBlock statically interleaves block addresses across LLC banks
+// (one bank per tile, as in the paper's tiled design).
+func (m *Mesh) BankForBlock(b trace.BlockAddr) int {
+	return int(uint64(b) % uint64(m.cfg.Tiles()))
+}
+
+// Send accounts one message of class cls travelling from tile a to tile b
+// and returns its latency.
+func (m *Mesh) Send(cls MsgClass, a, b int) int64 {
+	m.traffic[cls]++
+	m.hops[cls] += int64(m.Hops(a, b))
+	return m.Latency(a, b)
+}
+
+// Account records a message without computing a route (used for events
+// whose endpoints are implicit, e.g. discard detection inside a bank).
+func (m *Mesh) Account(cls MsgClass, hops int) {
+	m.traffic[cls]++
+	m.hops[cls] += int64(hops)
+}
+
+// Traffic returns the message count for a class.
+func (m *Mesh) Traffic(cls MsgClass) int64 { return m.traffic[cls] }
+
+// TotalTraffic sums messages over the given classes (all if none given).
+func (m *Mesh) TotalTraffic(classes ...MsgClass) int64 {
+	if len(classes) == 0 {
+		var sum int64
+		for _, v := range m.traffic {
+			sum += v
+		}
+		return sum
+	}
+	var sum int64
+	for _, c := range classes {
+		sum += m.traffic[c]
+	}
+	return sum
+}
+
+// HopCount returns the accumulated hop count for a class (energy proxy).
+func (m *Mesh) HopCount(cls MsgClass) int64 { return m.hops[cls] }
+
+// ResetTraffic zeroes the counters (e.g. after warmup).
+func (m *Mesh) ResetTraffic() {
+	m.traffic = [NumClasses]int64{}
+	m.hops = [NumClasses]int64{}
+}
+
+// AvgHops returns the mean hops per message over all classes, or 0.
+func (m *Mesh) AvgHops() float64 {
+	var msgs, hops int64
+	for i := range m.traffic {
+		msgs += m.traffic[i]
+		hops += m.hops[i]
+	}
+	if msgs == 0 {
+		return 0
+	}
+	return float64(hops) / float64(msgs)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,135 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shift/internal/trace"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Width: 0, Height: 4, HopCycles: 3},
+		{Width: 4, Height: -1, HopCycles: 3},
+		{Width: 4, Height: 4, HopCycles: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if DefaultConfig().Tiles() != 16 {
+		t.Errorf("Tiles = %d, want 16", DefaultConfig().Tiles())
+	}
+}
+
+func TestHops(t *testing.T) {
+	m := MustNew(DefaultConfig())
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 4, 1},  // one row down
+		{0, 5, 2},  // diagonal neighbor
+		{0, 15, 6}, // corner to corner: 3+3
+		{3, 12, 6},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := m.Hops(c.b, c.a); got != c.want {
+			t.Errorf("Hops not symmetric for (%d,%d)", c.a, c.b)
+		}
+	}
+}
+
+func TestLatencyAndRoundTrip(t *testing.T) {
+	m := MustNew(DefaultConfig())
+	if got := m.Latency(0, 15); got != 18 { // 6 hops * 3 cycles
+		t.Errorf("Latency = %d, want 18", got)
+	}
+	if got := m.RoundTrip(0, 15); got != 36 {
+		t.Errorf("RoundTrip = %d, want 36", got)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	m := MustNew(DefaultConfig())
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a%16), int(b%16), int(c%16)
+		return m.Hops(x, z) <= m.Hops(x, y)+m.Hops(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBankForBlockCoversAllBanks(t *testing.T) {
+	m := MustNew(DefaultConfig())
+	seen := make(map[int]bool)
+	for b := 0; b < 1000; b++ {
+		bank := m.BankForBlock(trace.BlockAddr(b))
+		if bank < 0 || bank >= 16 {
+			t.Fatalf("bank %d out of range", bank)
+		}
+		seen[bank] = true
+	}
+	if len(seen) != 16 {
+		t.Errorf("only %d banks used", len(seen))
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	m := MustNew(DefaultConfig())
+	m.Send(DemandInstr, 0, 15)
+	m.Send(DemandInstr, 0, 1)
+	m.Send(HistRead, 2, 3)
+	m.Account(Discard, 0)
+	if m.Traffic(DemandInstr) != 2 || m.Traffic(HistRead) != 1 || m.Traffic(Discard) != 1 {
+		t.Errorf("traffic: %d %d %d", m.Traffic(DemandInstr), m.Traffic(HistRead), m.Traffic(Discard))
+	}
+	if m.TotalTraffic() != 4 {
+		t.Errorf("TotalTraffic = %d, want 4", m.TotalTraffic())
+	}
+	if m.TotalTraffic(DemandInstr, HistRead) != 3 {
+		t.Errorf("class subset total = %d, want 3", m.TotalTraffic(DemandInstr, HistRead))
+	}
+	if m.HopCount(DemandInstr) != 7 {
+		t.Errorf("HopCount = %d, want 7", m.HopCount(DemandInstr))
+	}
+	if m.AvgHops() <= 0 {
+		t.Error("AvgHops should be positive")
+	}
+	m.ResetTraffic()
+	if m.TotalTraffic() != 0 || m.AvgHops() != 0 {
+		t.Error("ResetTraffic did not zero counters")
+	}
+}
+
+func TestMsgClassString(t *testing.T) {
+	names := map[MsgClass]string{
+		DemandInstr: "DemandInstr", DemandData: "DemandData",
+		PrefetchFill: "PrefetchFill", HistRead: "HistRead",
+		HistWrite: "HistWrite", IndexUpdate: "IndexUpdate", Discard: "Discard",
+	}
+	for cls, want := range names {
+		if cls.String() != want {
+			t.Errorf("%d.String() = %q, want %q", cls, cls.String(), want)
+		}
+	}
+	if MsgClass(99).String() == "" {
+		t.Error("unknown class should still format")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on bad config")
+		}
+	}()
+	MustNew(Config{})
+}

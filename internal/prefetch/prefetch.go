@@ -1,0 +1,174 @@
+// Package prefetch defines the interface between the simulator and the
+// instruction prefetchers, plus the baseline prefetchers of the paper's
+// evaluation: the null prefetcher (baseline system, Section 5.3) and the
+// next-line prefetcher ("a common design choice in today's processors",
+// Section 2.2).
+//
+// The state-of-the-art comparison prefetcher (PIF) lives in internal/pif;
+// the paper's contribution (SHIFT) lives in internal/core.
+package prefetch
+
+import (
+	"fmt"
+
+	"shift/internal/trace"
+)
+
+// Request asks the simulator to prefetch an instruction block into the
+// issuing core's L1-I.
+type Request struct {
+	// Block is the instruction block to prefetch.
+	Block trace.BlockAddr
+	// Delay is extra latency (in cycles) before the request can issue,
+	// e.g. the round trip to read a history buffer block from the LLC in
+	// virtualized SHIFT.
+	Delay int64
+}
+
+// Access describes one demand L1-I access, in retire order.
+type Access struct {
+	// Now is the core-local cycle of the access.
+	Now int64
+	// Block is the instruction block address.
+	Block trace.BlockAddr
+	// Hit is the L1-I outcome.
+	Hit bool
+	// WasPrefetch is true when Hit is true and the line was installed by
+	// a prefetch that had not been demand-referenced yet.
+	WasPrefetch bool
+}
+
+// Prefetcher reacts to a core's demand accesses by issuing prefetches.
+// One instance serves one core; implementations may share state across
+// instances (SHIFT's shared history).
+type Prefetcher interface {
+	// Name identifies the design point ("NextLine", "PIF_32K", "SHIFT"...).
+	Name() string
+	// OnAccess observes a retire-order demand access and returns the
+	// prefetches to issue. The returned slice is only valid until the
+	// next call.
+	OnAccess(a Access) []Request
+}
+
+// Stats is the prediction bookkeeping common to the stream-based
+// prefetchers; the simulator combines it with cache-level covered /
+// overpredicted accounting.
+type Stats struct {
+	// Accesses and Misses count demand activity observed.
+	Accesses, Misses int64
+	// CoveredAccesses counts accesses that fell inside an active stream
+	// (the commonality metric of Figure 3).
+	CoveredAccesses int64
+	// CoveredMisses counts misses that fell inside an active stream (the
+	// prediction-mode coverage of Figure 6).
+	CoveredMisses int64
+	// StreamAllocs counts new stream activations.
+	StreamAllocs int64
+	// HistoryReads and HistoryWrites count history-buffer block
+	// transfers (virtualized SHIFT's LogRead/LogWrite traffic).
+	HistoryReads, HistoryWrites int64
+	// IndexUpdates counts index-pointer updates.
+	IndexUpdates int64
+	// RecordsWritten counts spatial region records appended to history.
+	RecordsWritten int64
+}
+
+// AccessCoverage returns CoveredAccesses/Accesses (0 if no accesses).
+func (s Stats) AccessCoverage() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.CoveredAccesses) / float64(s.Accesses)
+}
+
+// MissCoverage returns CoveredMisses/Misses (0 if no misses).
+func (s Stats) MissCoverage() float64 {
+	if s.Misses == 0 {
+		return 0
+	}
+	return float64(s.CoveredMisses) / float64(s.Misses)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Accesses += other.Accesses
+	s.Misses += other.Misses
+	s.CoveredAccesses += other.CoveredAccesses
+	s.CoveredMisses += other.CoveredMisses
+	s.StreamAllocs += other.StreamAllocs
+	s.HistoryReads += other.HistoryReads
+	s.HistoryWrites += other.HistoryWrites
+	s.IndexUpdates += other.IndexUpdates
+	s.RecordsWritten += other.RecordsWritten
+}
+
+// StatsReporter is implemented by prefetchers that expose Stats.
+type StatsReporter interface {
+	PrefetchStats() Stats
+}
+
+// Null is the no-prefetch baseline.
+type Null struct{}
+
+// NewNull returns the baseline (no prefetching) design.
+func NewNull() *Null { return &Null{} }
+
+// Name implements Prefetcher.
+func (*Null) Name() string { return "Baseline" }
+
+// OnAccess implements Prefetcher.
+func (*Null) OnAccess(Access) []Request { return nil }
+
+// NextLine prefetches the next Degree sequential blocks on a miss or on
+// the first use of a prefetched block (tagged next-line prefetching).
+type NextLine struct {
+	degree int
+	out    []Request
+	stats  Stats
+}
+
+// NewNextLine builds a next-line prefetcher with the given degree
+// (1 if degree <= 0).
+func NewNextLine(degree int) *NextLine {
+	if degree <= 0 {
+		degree = 1
+	}
+	return &NextLine{degree: degree}
+}
+
+// Name implements Prefetcher.
+func (n *NextLine) Name() string {
+	if n.degree == 1 {
+		return "NextLine"
+	}
+	return fmt.Sprintf("NextLine%d", n.degree)
+}
+
+// OnAccess implements Prefetcher.
+func (n *NextLine) OnAccess(a Access) []Request {
+	n.stats.Accesses++
+	if !a.Hit {
+		n.stats.Misses++
+	}
+	if a.Hit && !a.WasPrefetch {
+		return nil
+	}
+	n.out = n.out[:0]
+	for d := 1; d <= n.degree; d++ {
+		blk := a.Block + trace.BlockAddr(d)
+		if blk > trace.MaxBlockAddr {
+			break
+		}
+		n.out = append(n.out, Request{Block: blk})
+	}
+	return n.out
+}
+
+// PrefetchStats implements StatsReporter.
+func (n *NextLine) PrefetchStats() Stats { return n.stats }
+
+var (
+	_ Prefetcher    = (*Null)(nil)
+	_ Prefetcher    = (*NextLine)(nil)
+	_ StatsReporter = (*NextLine)(nil)
+)

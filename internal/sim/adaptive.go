@@ -1,0 +1,105 @@
+package sim
+
+// Adaptive generator rotation (paper Section 6.1): "In case of a
+// long-lasting deviation in the program control flow of the history
+// generator core, a sampling mechanism that monitors the instruction miss
+// coverage and changes the history generator core accordingly can
+// overcome the disturbance."
+//
+// The monitor samples each shared history's aggregate miss coverage over
+// fixed windows of lockstep rounds. If a window's coverage falls below a
+// fraction of the best coverage seen so far, the generator role rotates
+// to the next core of the group. The best-seen value decays slowly so the
+// monitor adapts to genuine phase changes instead of rotating forever.
+
+// defaultAdaptWindow is the sampling window in lockstep rounds.
+const defaultAdaptWindow = 8192
+
+// adaptDegradeFraction triggers rotation when windowed coverage drops
+// below this fraction of the (decayed) best.
+const adaptDegradeFraction = 0.7
+
+// adaptBestDecay is applied to the best-seen coverage each window.
+const adaptBestDecay = 0.999
+
+// adaptCooldownWindows suppresses further rotations while a fresh
+// generator warms the history back up.
+const adaptCooldownWindows = 3
+
+// adaptState tracks one shared history's coverage window.
+type adaptState struct {
+	prevCovered int64
+	prevMisses  int64
+	best        float64
+	nextIdx     int // index into the group's core list for rotation
+	cooldown    int // windows remaining before the next rotation is allowed
+}
+
+// checkAdaptive samples coverage and rotates degraded generators. Called
+// from Run every AdaptWindow rounds when AdaptiveGenerator is enabled.
+func (s *System) checkAdaptive() {
+	for gi := range s.shared {
+		st := &s.adapt[gi]
+		// Health signal: the fraction of would-be misses covered by the
+		// prefetch buffer (PBHits / (PBHits + effective misses)), summed
+		// over the group's cores. In prefetch mode this is the quantity
+		// the paper's Figure 7 calls "covered".
+		var covered, misses int64
+		for c := 0; c < s.cfg.Cores; c++ {
+			if s.groupOf[c] != gi {
+				continue
+			}
+			covered += s.fetch[c].PBHits
+			misses += s.fetch[c].PBHits + s.fetch[c].Misses
+		}
+		dCov := covered - st.prevCovered
+		dMiss := misses - st.prevMisses
+		st.prevCovered, st.prevMisses = covered, misses
+		if dMiss < 100 {
+			continue // too few misses in the window to judge
+		}
+		if st.cooldown > 0 {
+			st.cooldown--
+			continue // let a fresh generator warm the history up
+		}
+		cov := float64(dCov) / float64(dMiss)
+		if cov > st.best {
+			st.best = cov
+		} else {
+			st.best *= adaptBestDecay
+		}
+		if st.best > 0 && cov < st.best*adaptDegradeFraction {
+			s.rotateGenerator(gi, st)
+			// Re-learn what "good" looks like under the new generator so
+			// the ramp-up is not mistaken for degradation.
+			st.best = 0
+			st.cooldown = adaptCooldownWindows
+		}
+	}
+}
+
+// rotateGenerator hands the group's recording role to its next core.
+func (s *System) rotateGenerator(gi int, st *adaptState) {
+	cores := s.groupCores(gi)
+	if len(cores) < 2 {
+		return
+	}
+	cur := s.shared[gi].Generator()
+	// Advance past the current generator.
+	st.nextIdx = (st.nextIdx + 1) % len(cores)
+	if cores[st.nextIdx] == cur {
+		st.nextIdx = (st.nextIdx + 1) % len(cores)
+	}
+	s.shared[gi].SetGenerator(cores[st.nextIdx])
+}
+
+// groupCores lists the cores of shared-history group gi.
+func (s *System) groupCores(gi int) []int {
+	var out []int
+	for c := 0; c < s.cfg.Cores; c++ {
+		if s.groupOf[c] == gi {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"shift/internal/cache"
+	"shift/internal/noc"
+	"shift/internal/prefetch"
+)
+
+// FetchStats counts the demand-fetch outcomes of one core (or, when
+// aggregated, of the whole CMP). Misses are *effective* misses: demand
+// accesses that found the block in neither the L1-I nor the prefetch
+// buffer and therefore paid the LLC round trip.
+type FetchStats struct {
+	// Accesses is the number of demand instruction-block fetches.
+	Accesses int64
+	// Misses is the number of effective (stalling) misses.
+	Misses int64
+	// PBHits is the number of L1-I misses covered by the prefetch buffer
+	// (the paper's "covered" misses in Figure 7).
+	PBHits int64
+	// LatePBHits counts PBHits that still exposed partial latency
+	// because the prefetch was issued too late to fully hide the fill.
+	LatePBHits int64
+	// Discards counts prefetched blocks evicted from the prefetch buffer
+	// before any demand use (the paper's overpredictions/discards).
+	Discards int64
+}
+
+// MissRatio returns effective misses per access.
+func (f FetchStats) MissRatio() float64 {
+	if f.Accesses == 0 {
+		return 0
+	}
+	return float64(f.Misses) / float64(f.Accesses)
+}
+
+func subFetch(a, b FetchStats) FetchStats {
+	return FetchStats{
+		Accesses:   a.Accesses - b.Accesses,
+		Misses:     a.Misses - b.Misses,
+		PBHits:     a.PBHits - b.PBHits,
+		LatePBHits: a.LatePBHits - b.LatePBHits,
+		Discards:   a.Discards - b.Discards,
+	}
+}
+
+func addFetch(a, b FetchStats) FetchStats {
+	return FetchStats{
+		Accesses:   a.Accesses + b.Accesses,
+		Misses:     a.Misses + b.Misses,
+		PBHits:     a.PBHits + b.PBHits,
+		LatePBHits: a.LatePBHits + b.LatePBHits,
+		Discards:   a.Discards + b.Discards,
+	}
+}
+
+// measurement is a raw counter snapshot used to subtract warmup activity.
+type measurement struct {
+	cycles      []int64
+	instrs      []int64
+	fetchStall  []int64
+	branchStall []int64
+	records     []int64
+	l1          []cache.Stats
+	fetch       []FetchStats
+	traffic     [noc.NumClasses]int64
+	hops        [noc.NumClasses]int64
+	pf          []prefetch.Stats
+	bpPred      []int64
+	bpMiss      []int64
+}
+
+func (s *System) snapshot() measurement {
+	n := s.cfg.Cores
+	m := measurement{
+		cycles:      make([]int64, n),
+		instrs:      make([]int64, n),
+		fetchStall:  make([]int64, n),
+		branchStall: make([]int64, n),
+		records:     make([]int64, n),
+		l1:          make([]cache.Stats, n),
+		fetch:       make([]FetchStats, n),
+		pf:          make([]prefetch.Stats, n),
+		bpPred:      make([]int64, n),
+		bpMiss:      make([]int64, n),
+	}
+	for i := 0; i < n; i++ {
+		m.cycles[i] = s.clocks[i].Now()
+		m.instrs[i] = s.clocks[i].Instructions()
+		m.fetchStall[i] = s.clocks[i].FetchStallCycles()
+		m.branchStall[i] = s.clocks[i].BranchStallCycles()
+		m.records[i] = s.records[i]
+		m.l1[i] = s.l1i[i].Stats()
+		m.fetch[i] = s.fetch[i]
+		if sr, ok := s.pf[i].(prefetch.StatsReporter); ok {
+			m.pf[i] = sr.PrefetchStats()
+		}
+		if s.bp != nil {
+			m.bpPred[i] = s.bp[i].Predictions()
+			m.bpMiss[i] = s.bp[i].Mispredicts()
+		}
+	}
+	for c := 0; c < noc.NumClasses; c++ {
+		m.traffic[c] = s.mesh.Traffic(noc.MsgClass(c))
+		m.hops[c] = s.mesh.HopCount(noc.MsgClass(c))
+	}
+	return m
+}
+
+// CoreResult is one core's measurement-window summary.
+type CoreResult struct {
+	Cycles       int64
+	Instructions int64
+	Records      int64
+	FetchStall   int64
+	BranchStall  int64
+	IPC          float64
+	L1I          cache.Stats
+	Fetch        FetchStats
+	Pf           prefetch.Stats
+}
+
+// Result summarizes the measurement window of one run.
+type Result struct {
+	Label    string
+	PerCore  []CoreResult
+	Cores    int
+	CoreType string
+
+	// Instructions and Records are totals across cores.
+	Instructions int64
+	Records      int64
+	// Throughput is the sum over cores of per-core IPC — the system
+	// throughput proxy the paper uses (application instructions divided
+	// by cycles, summed over the CMP).
+	Throughput float64
+	// FetchStallFraction is the mean fraction of cycles lost to exposed
+	// instruction-fetch stalls.
+	FetchStallFraction float64
+	// BranchAccuracy is the hybrid predictor's accuracy.
+	BranchAccuracy float64
+
+	// L1I aggregates the raw instruction-cache counters across cores.
+	L1I cache.Stats
+	// Fetch aggregates the effective demand-fetch outcomes (L1-I plus
+	// prefetch buffer) across cores; the paper's coverage numbers are
+	// computed from these.
+	Fetch FetchStats
+	// MPKI is effective misses per kilo-instruction.
+	MPKI float64
+	// Pf aggregates prefetcher bookkeeping across cores.
+	Pf prefetch.Stats
+
+	// Traffic per message class, and hop counts for energy estimation.
+	Traffic [noc.NumClasses]int64
+	Hops    [noc.NumClasses]int64
+}
+
+func subCache(a, b cache.Stats) cache.Stats {
+	return cache.Stats{
+		Hits:             a.Hits - b.Hits,
+		Misses:           a.Misses - b.Misses,
+		PrefetchHits:     a.PrefetchHits - b.PrefetchHits,
+		Inserts:          a.Inserts - b.Inserts,
+		Evictions:        a.Evictions - b.Evictions,
+		PrefetchInserted: a.PrefetchInserted - b.PrefetchInserted,
+		PrefetchDiscards: a.PrefetchDiscards - b.PrefetchDiscards,
+	}
+}
+
+func subPf(a, b prefetch.Stats) prefetch.Stats {
+	return prefetch.Stats{
+		Accesses:        a.Accesses - b.Accesses,
+		Misses:          a.Misses - b.Misses,
+		CoveredAccesses: a.CoveredAccesses - b.CoveredAccesses,
+		CoveredMisses:   a.CoveredMisses - b.CoveredMisses,
+		StreamAllocs:    a.StreamAllocs - b.StreamAllocs,
+		HistoryReads:    a.HistoryReads - b.HistoryReads,
+		HistoryWrites:   a.HistoryWrites - b.HistoryWrites,
+		IndexUpdates:    a.IndexUpdates - b.IndexUpdates,
+		RecordsWritten:  a.RecordsWritten - b.RecordsWritten,
+	}
+}
+
+// Results computes the measurement-window deltas since MarkMeasurement.
+func (s *System) Results() Result {
+	cur := s.snapshot()
+	n := s.cfg.Cores
+	res := Result{
+		Label:    s.cfg.Prefetcher.Name(),
+		Cores:    n,
+		CoreType: s.cfg.CoreType.String(),
+		PerCore:  make([]CoreResult, n),
+	}
+	var stallFracSum float64
+	var bpPred, bpMiss int64
+	for i := 0; i < n; i++ {
+		cr := CoreResult{
+			Cycles:       cur.cycles[i] - s.base.cycles[i],
+			Instructions: cur.instrs[i] - s.base.instrs[i],
+			Records:      cur.records[i] - s.base.records[i],
+			FetchStall:   cur.fetchStall[i] - s.base.fetchStall[i],
+			BranchStall:  cur.branchStall[i] - s.base.branchStall[i],
+			L1I:          subCache(cur.l1[i], s.base.l1[i]),
+			Fetch:        subFetch(cur.fetch[i], s.base.fetch[i]),
+			Pf:           subPf(cur.pf[i], s.base.pf[i]),
+		}
+		if cr.Cycles > 0 {
+			cr.IPC = float64(cr.Instructions) / float64(cr.Cycles)
+			stallFracSum += float64(cr.FetchStall) / float64(cr.Cycles)
+		}
+		res.PerCore[i] = cr
+		res.Instructions += cr.Instructions
+		res.Records += cr.Records
+		res.Throughput += cr.IPC
+		res.L1I = addCache(res.L1I, cr.L1I)
+		res.Fetch = addFetch(res.Fetch, cr.Fetch)
+		res.Pf.Add(cr.Pf)
+		bpPred += cur.bpPred[i] - s.base.bpPred[i]
+		bpMiss += cur.bpMiss[i] - s.base.bpMiss[i]
+	}
+	res.FetchStallFraction = stallFracSum / float64(n)
+	if bpPred > 0 {
+		res.BranchAccuracy = 1 - float64(bpMiss)/float64(bpPred)
+	} else {
+		res.BranchAccuracy = 1
+	}
+	if res.Instructions > 0 {
+		res.MPKI = float64(res.Fetch.Misses) / float64(res.Instructions) * 1000
+	}
+	for c := 0; c < noc.NumClasses; c++ {
+		res.Traffic[c] = cur.traffic[c] - s.base.traffic[c]
+		res.Hops[c] = cur.hops[c] - s.base.hops[c]
+	}
+	return res
+}
+
+func addCache(a, b cache.Stats) cache.Stats {
+	return cache.Stats{
+		Hits:             a.Hits + b.Hits,
+		Misses:           a.Misses + b.Misses,
+		PrefetchHits:     a.PrefetchHits + b.PrefetchHits,
+		Inserts:          a.Inserts + b.Inserts,
+		Evictions:        a.Evictions + b.Evictions,
+		PrefetchInserted: a.PrefetchInserted + b.PrefetchInserted,
+		PrefetchDiscards: a.PrefetchDiscards + b.PrefetchDiscards,
+	}
+}
+
+// DemandTraffic returns the demand LLC traffic (instruction + data), the
+// baseline-normalization denominator of Figure 9.
+func (r Result) DemandTraffic() int64 {
+	return r.Traffic[noc.DemandInstr] + r.Traffic[noc.DemandData]
+}
+
+// AccessCoverage and MissCoverage expose the prediction-mode coverages.
+func (r Result) AccessCoverage() float64 { return r.Pf.AccessCoverage() }
+
+// MissCoverage returns the prediction-mode miss coverage.
+func (r Result) MissCoverage() float64 { return r.Pf.MissCoverage() }

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"fmt"
+
+	"shift/internal/core"
+	"shift/internal/trace"
+	"shift/internal/workload"
+)
+
+// RunSpec bundles everything needed for one measured simulation: the
+// system configuration, the workload(s), and the warmup/measurement
+// window lengths (in trace records per core, the SimFlex-style warmup
+// exclusion of Section 5.1).
+type RunSpec struct {
+	// Config is the system under test.
+	Config Config
+	// Workload runs on all cores (homogeneous server workload).
+	Workload workload.Params
+	// Groups optionally consolidates the CMP: Groups[i] runs
+	// GroupWorkloads[i] (Section 4.3 / Figure 10). When set, Workload is
+	// ignored and, for SHIFT, one shared history is created per group.
+	Groups         []core.Group
+	GroupWorkloads []workload.Params
+	// WarmupRecords and MeasureRecords are per-core record counts.
+	WarmupRecords  int64
+	MeasureRecords int64
+}
+
+// Validate reports the first problem with r, or nil.
+func (r RunSpec) Validate() error {
+	if err := r.Config.Validate(); err != nil {
+		return err
+	}
+	if r.MeasureRecords <= 0 {
+		return fmt.Errorf("sim: MeasureRecords %d <= 0", r.MeasureRecords)
+	}
+	if r.WarmupRecords < 0 {
+		return fmt.Errorf("sim: WarmupRecords %d < 0", r.WarmupRecords)
+	}
+	if len(r.Groups) != len(r.GroupWorkloads) {
+		return fmt.Errorf("sim: %d groups but %d group workloads", len(r.Groups), len(r.GroupWorkloads))
+	}
+	if len(r.Groups) == 0 {
+		return r.Workload.Validate()
+	}
+	for _, p := range r.GroupWorkloads {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the spec: build workloads and readers, construct the
+// system, run warmup, measure, and return the results.
+func Run(spec RunSpec) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	cfg := spec.Config
+	readers := make([]trace.Reader, cfg.Cores)
+
+	if len(spec.Groups) == 0 {
+		w, err := workload.New(spec.Workload)
+		if err != nil {
+			return Result{}, err
+		}
+		for i := range readers {
+			readers[i] = w.NewCoreReader(i)
+		}
+	} else {
+		// Consolidated: per-group workloads; the prefetcher spec (for
+		// SHIFT) gets the same groups so histories align with traces.
+		if cfg.Prefetcher.Kind == KindSHIFT {
+			cfg.Prefetcher.Groups = spec.Groups
+		}
+		for gi, g := range spec.Groups {
+			w, err := workload.New(spec.GroupWorkloads[gi])
+			if err != nil {
+				return Result{}, fmt.Errorf("group %q: %w", g.Name, err)
+			}
+			for _, c := range g.Cores {
+				if c < 0 || c >= cfg.Cores {
+					return Result{}, fmt.Errorf("group %q core %d out of range", g.Name, c)
+				}
+				readers[c] = w.NewCoreReader(c)
+			}
+		}
+		for i, r := range readers {
+			if r == nil {
+				return Result{}, fmt.Errorf("core %d not assigned to any group", i)
+			}
+		}
+	}
+
+	sys, err := New(cfg, readers)
+	if err != nil {
+		return Result{}, err
+	}
+	if spec.WarmupRecords > 0 {
+		if err := sys.Run(spec.WarmupRecords); err != nil {
+			return Result{}, err
+		}
+	}
+	sys.MarkMeasurement()
+	if err := sys.Run(spec.MeasureRecords); err != nil {
+		return Result{}, err
+	}
+	return sys.Results(), nil
+}

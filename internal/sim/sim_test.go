@@ -1,0 +1,387 @@
+package sim
+
+import (
+	"testing"
+
+	"shift/internal/core"
+	"shift/internal/noc"
+	"shift/internal/pif"
+	"shift/internal/trace"
+	"shift/internal/workload"
+)
+
+// testWorkload is a small, fast workload for unit tests.
+func testWorkload() workload.Params {
+	return workload.Params{
+		Name: "sim-test", Seed: 7,
+		FootprintBytes:   192 * 1024,
+		OSFootprintBytes: 16 * 1024,
+		RequestTypes:     6, RequestZipf: 0.5,
+		FuncBlocksMean: 5, CallDepth: 6, CallSiteDensity: 0.3,
+		VaryProb: 0.05, SkipProb: 0.05,
+		TrapRate: 0.003, SchedProb: 0.2,
+		LoopWeight: 0.1,
+	}
+}
+
+// testConfig shrinks the system to 4 cores on a 2x2 mesh for speed.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Cores = 4
+	cfg.Mesh = noc.Config{Width: 2, Height: 2, HopCycles: 3}
+	cfg.BranchPredictorEntries = 1024
+	return cfg
+}
+
+func testSpec(cfg Config) RunSpec {
+	return RunSpec{
+		Config:         cfg,
+		Workload:       testWorkload(),
+		WarmupRecords:  20000,
+		MeasureRecords: 30000,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"no cores", func(c *Config) { c.Cores = 0 }},
+		{"too many cores", func(c *Config) { c.Cores = 99 }},
+		{"bad L1I", func(c *Config) { c.L1I.Assoc = 0 }},
+		{"bad LLC", func(c *Config) { c.LLCBankBytes = 1000 }},
+		{"no MSHRs", func(c *Config) { c.L1MSHRs = 0 }},
+		{"negative latency", func(c *Config) { c.MemCycles = -1 }},
+		{"bad elim", func(c *Config) { c.ElimProb = 1.5 }},
+		{"bad data rate", func(c *Config) { c.DataMPKI = -1 }},
+		{"bad pf kind", func(c *Config) { c.Prefetcher.Kind = PrefetcherKind(9) }},
+		{"bad pif", func(c *Config) { c.Prefetcher = PrefetcherSpec{Kind: KindPIF} }},
+		{"bad shift", func(c *Config) { c.Prefetcher = PrefetcherSpec{Kind: KindSHIFT} }},
+	}
+	for _, m := range mutations {
+		c := DefaultConfig()
+		m.mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: accepted", m.name)
+		}
+	}
+}
+
+func TestSpecNames(t *testing.T) {
+	if (PrefetcherSpec{Kind: KindNone}).Name() != "Baseline" {
+		t.Error("baseline name")
+	}
+	if (PrefetcherSpec{Kind: KindNextLine}).Name() != "NextLine" {
+		t.Error("nextline name")
+	}
+	s := PrefetcherSpec{Kind: KindPIF, PIF: pif.Config32K()}
+	if s.Name() != "PIF_32K" {
+		t.Error("pif name")
+	}
+	sh := PrefetcherSpec{Kind: KindSHIFT, SHIFT: core.DefaultConfig()}
+	if sh.Name() != "SHIFT" {
+		t.Error("shift name")
+	}
+	if ModePrediction.String() != "prediction" || ModePrefetch.String() != "prefetch" {
+		t.Error("mode names")
+	}
+	if KindPIF.String() != "pif" {
+		t.Error("kind names")
+	}
+}
+
+func TestBaselineRun(t *testing.T) {
+	res, err := Run(testSpec(testConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 4*30000 {
+		t.Errorf("Records = %d, want 120000", res.Records)
+	}
+	if res.Instructions <= res.Records {
+		t.Error("instructions should exceed records")
+	}
+	if res.Throughput <= 0 {
+		t.Error("throughput should be positive")
+	}
+	if res.Fetch.Misses == 0 {
+		t.Error("a 192KB footprint should miss in a 32KB L1-I")
+	}
+	if res.MPKI <= 0 {
+		t.Error("MPKI should be positive")
+	}
+	if res.FetchStallFraction <= 0 || res.FetchStallFraction >= 1 {
+		t.Errorf("FetchStallFraction = %v", res.FetchStallFraction)
+	}
+	if res.BranchAccuracy < 0.5 || res.BranchAccuracy > 1 {
+		t.Errorf("BranchAccuracy = %v", res.BranchAccuracy)
+	}
+	if res.Traffic[noc.DemandInstr] == 0 || res.Traffic[noc.DemandData] == 0 {
+		t.Error("demand traffic not accounted")
+	}
+	if res.DemandTraffic() != res.Traffic[noc.DemandInstr]+res.Traffic[noc.DemandData] {
+		t.Error("DemandTraffic mismatch")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(testSpec(testConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testSpec(testConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput || a.Fetch.Misses != b.Fetch.Misses {
+		t.Error("identical specs produced different results")
+	}
+}
+
+func TestElimProbSpeedsUp(t *testing.T) {
+	base, err := Run(testSpec(testConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.ElimProb = 1.0
+	perfect, err := Run(testSpec(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perfect.Throughput <= base.Throughput {
+		t.Errorf("perfect I-cache throughput %v <= baseline %v", perfect.Throughput, base.Throughput)
+	}
+	if perfect.FetchStallFraction >= base.FetchStallFraction {
+		t.Error("eliminating misses did not reduce stall fraction")
+	}
+}
+
+func TestNextLineImproves(t *testing.T) {
+	base, err := Run(testSpec(testConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Prefetcher = PrefetcherSpec{Kind: KindNextLine, NextLineDegree: 1}
+	nl, err := Run(testSpec(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Fetch.PBHits == 0 {
+		t.Error("next-line produced no useful prefetches")
+	}
+	if nl.Throughput <= base.Throughput {
+		t.Errorf("next-line throughput %v <= baseline %v", nl.Throughput, base.Throughput)
+	}
+	if nl.Traffic[noc.PrefetchFill] == 0 {
+		t.Error("no prefetch traffic accounted")
+	}
+}
+
+func smallPIF() pif.Config {
+	c := pif.Config32K()
+	c.HistEntries = 4096
+	c.IndexEntries = 1024
+	c.Label = "PIF_small"
+	return c
+}
+
+func TestPIFImprovesOverNextLine(t *testing.T) {
+	cfg := testConfig()
+	cfg.Prefetcher = PrefetcherSpec{Kind: KindNextLine}
+	nl, err := Run(testSpec(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = testConfig()
+	cfg.Prefetcher = PrefetcherSpec{Kind: KindPIF, PIF: smallPIF()}
+	pf, err := Run(testSpec(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Throughput <= nl.Throughput {
+		t.Errorf("PIF throughput %v <= next-line %v", pf.Throughput, nl.Throughput)
+	}
+	if pf.Fetch.Misses >= nl.Fetch.Misses {
+		t.Errorf("PIF misses %d >= next-line %d", pf.Fetch.Misses, nl.Fetch.Misses)
+	}
+}
+
+func smallSHIFT(v core.Variant) core.Config {
+	c := core.DefaultConfig()
+	c.Variant = v
+	c.HistEntries = 4096
+	return c
+}
+
+func TestSHIFTDedicatedWorks(t *testing.T) {
+	base, err := Run(testSpec(testConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Prefetcher = PrefetcherSpec{Kind: KindSHIFT, SHIFT: smallSHIFT(core.Dedicated)}
+	sh, err := Run(testSpec(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Throughput <= base.Throughput {
+		t.Errorf("SHIFT throughput %v <= baseline %v", sh.Throughput, base.Throughput)
+	}
+	if sh.Pf.CoveredMisses == 0 {
+		t.Error("SHIFT covered no misses")
+	}
+}
+
+func TestSHIFTVirtualizedTrafficAndPinning(t *testing.T) {
+	cfg := testConfig()
+	cfg.Prefetcher = PrefetcherSpec{Kind: KindSHIFT, SHIFT: smallSHIFT(core.Virtualized)}
+	spec := testSpec(cfg)
+
+	w, err := workload.New(spec.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readers := make([]trace.Reader, cfg.Cores)
+	for i := range readers {
+		readers[i] = w.NewCoreReader(i)
+	}
+	sys, err := New(cfg, readers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(50000); err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Results()
+	if res.Traffic[noc.HistRead] == 0 {
+		t.Error("no LogRead traffic")
+	}
+	if res.Traffic[noc.HistWrite] == 0 {
+		t.Error("no LogWrite traffic")
+	}
+	if res.Traffic[noc.IndexUpdate] == 0 {
+		t.Error("no index-update traffic")
+	}
+	if sys.LLCPinnedLines() == 0 {
+		t.Error("no pinned history lines in the LLC")
+	}
+	maxPinned := smallSHIFT(core.Virtualized).HistoryBlocks()
+	if got := sys.LLCPinnedLines(); got > maxPinned {
+		t.Errorf("pinned lines %d exceed history size %d", got, maxPinned)
+	}
+	if len(sys.SharedHistories()) != 1 {
+		t.Error("expected one shared history")
+	}
+	if sys.SharedHistories()[0].Stats().RecordsWritten == 0 {
+		t.Error("generator wrote no records")
+	}
+}
+
+func TestSHIFTVirtualizedSlowerThanDedicated(t *testing.T) {
+	cfgD := testConfig()
+	cfgD.Prefetcher = PrefetcherSpec{Kind: KindSHIFT, SHIFT: smallSHIFT(core.Dedicated)}
+	ded, err := Run(testSpec(cfgD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgV := testConfig()
+	cfgV.Prefetcher = PrefetcherSpec{Kind: KindSHIFT, SHIFT: smallSHIFT(core.Virtualized)}
+	vir, err := Run(testSpec(cfgV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ZeroLat-SHIFT must be at least as fast as virtualized SHIFT
+	// (Figure 8's ~1.5% gap).
+	if vir.Throughput > ded.Throughput*1.01 {
+		t.Errorf("virtualized %v implausibly faster than dedicated %v", vir.Throughput, ded.Throughput)
+	}
+}
+
+func TestPredictionModeDoesNotPerturb(t *testing.T) {
+	base, err := Run(testSpec(testConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Mode = ModePrediction
+	cfg.Prefetcher = PrefetcherSpec{Kind: KindSHIFT, SHIFT: smallSHIFT(core.Dedicated)}
+	pred, err := Run(testSpec(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Fetch.Misses != base.Fetch.Misses {
+		t.Errorf("prediction mode changed miss count: %d vs %d", pred.Fetch.Misses, base.Fetch.Misses)
+	}
+	if pred.Pf.CoveredMisses == 0 {
+		t.Error("prediction mode tracked no covered misses")
+	}
+	if pred.MissCoverage() <= 0 || pred.MissCoverage() > 1 {
+		t.Errorf("MissCoverage = %v", pred.MissCoverage())
+	}
+}
+
+func TestConsolidationRun(t *testing.T) {
+	cfg := testConfig()
+	cfg.Prefetcher = PrefetcherSpec{Kind: KindSHIFT, SHIFT: smallSHIFT(core.Virtualized)}
+	wlA := testWorkload()
+	wlB := testWorkload()
+	wlB.Name = "sim-test-B"
+	wlB.Seed = 99
+	spec := RunSpec{
+		Config: cfg,
+		Groups: []core.Group{
+			{Name: "A", Cores: []int{0, 1}},
+			{Name: "B", Cores: []int{2, 3}},
+		},
+		GroupWorkloads: []workload.Params{wlA, wlB},
+		WarmupRecords:  20000,
+		MeasureRecords: 20000,
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pf.CoveredMisses == 0 {
+		t.Error("consolidated SHIFT covered nothing")
+	}
+}
+
+func TestRunSpecValidation(t *testing.T) {
+	ok := testSpec(testConfig())
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := ok
+	bad.MeasureRecords = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero measure accepted")
+	}
+	bad = ok
+	bad.WarmupRecords = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative warmup accepted")
+	}
+	bad = ok
+	bad.Workload.Name = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid workload accepted")
+	}
+	bad = ok
+	bad.Groups = []core.Group{{Name: "A", Cores: []int{0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("groups without workloads accepted")
+	}
+}
+
+func TestNewRejectsReaderMismatch(t *testing.T) {
+	cfg := testConfig()
+	if _, err := New(cfg, nil); err == nil {
+		t.Error("nil readers accepted")
+	}
+}

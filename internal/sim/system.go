@@ -1,0 +1,434 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"shift/internal/bpred"
+	"shift/internal/cache"
+	"shift/internal/core"
+	"shift/internal/cpu"
+	"shift/internal/noc"
+	"shift/internal/pif"
+	"shift/internal/prefetch"
+	"shift/internal/tifs"
+	"shift/internal/trace"
+)
+
+// System is one simulated CMP bound to per-core trace readers.
+type System struct {
+	cfg Config
+
+	readers []trace.Reader
+	done    []bool
+
+	clocks  []*cpu.Clock
+	bp      []*bpred.Hybrid
+	l1i     []*cache.Cache
+	pb      []*cache.Cache // per-core prefetch buffers
+	l1mshr  []*cache.MSHRs
+	llc     []*cache.Cache
+	mesh    *noc.Mesh
+	pf      []prefetch.Prefetcher
+	shared  []*core.SharedHistory
+	groupOf []int // core -> shared history index (SHIFT only)
+	rng     []*trace.RNG
+
+	dataAcc []float64
+	records []int64
+	fetch   []FetchStats
+	adapt   []adaptState
+	rounds  int64
+
+	base measurement // snapshot at measurement start
+}
+
+// New builds a system over per-core trace readers (len must equal
+// cfg.Cores).
+func New(cfg Config, readers []trace.Reader) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(readers) != cfg.Cores {
+		return nil, fmt.Errorf("sim: %d readers for %d cores", len(readers), cfg.Cores)
+	}
+	s := &System{cfg: cfg, readers: readers}
+	n := cfg.Cores
+	s.done = make([]bool, n)
+	s.clocks = make([]*cpu.Clock, n)
+	s.l1i = make([]*cache.Cache, n)
+	s.pb = make([]*cache.Cache, n)
+	s.l1mshr = make([]*cache.MSHRs, n)
+	s.rng = make([]*trace.RNG, n)
+	s.dataAcc = make([]float64, n)
+	s.records = make([]int64, n)
+	s.fetch = make([]FetchStats, n)
+	if cfg.BranchPredictorEntries > 0 {
+		s.bp = make([]*bpred.Hybrid, n)
+	}
+	for i := 0; i < n; i++ {
+		s.clocks[i] = cpu.NewClock(cfg.CoreType)
+		l1, err := cache.New(cfg.L1I)
+		if err != nil {
+			return nil, err
+		}
+		s.l1i[i] = l1
+		// Fully-associative prefetch buffer: prefetched blocks wait here
+		// and move into the L1-I on first demand use, so mispredicted
+		// prefetches never pollute the instruction cache (the
+		// stream-prefetcher design PIF and SHIFT assume).
+		pbEntries := cfg.PrefetchBufferEntries
+		if pbEntries == 0 {
+			pbEntries = 128
+		}
+		pbuf, err := cache.New(cache.Config{
+			SizeBytes: pbEntries * 64, Assoc: pbEntries, BlockBytes: 64,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.pb[i] = pbuf
+		s.l1mshr[i] = cache.NewMSHRs(cfg.L1MSHRs)
+		s.rng[i] = trace.NewRNG(cfg.Seed*7919 + int64(i))
+		if s.bp != nil {
+			h, err := bpred.NewHybrid(cfg.BranchPredictorEntries)
+			if err != nil {
+				return nil, err
+			}
+			s.bp[i] = h
+		}
+	}
+	s.mesh = noc.MustNew(cfg.Mesh)
+	banks := cfg.Mesh.Tiles()
+	// Banks are selected by (block mod banks), so bank-local set indexing
+	// must skip those low bits.
+	shift := uint(0)
+	for 1<<shift < banks {
+		shift++
+	}
+	s.llc = make([]*cache.Cache, banks)
+	for b := 0; b < banks; b++ {
+		bank, err := cache.New(cache.Config{
+			SizeBytes: cfg.LLCBankBytes, Assoc: cfg.LLCAssoc,
+			BlockBytes: 64, TagPointers: true, IndexShift: shift,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.llc[b] = bank
+	}
+	if err := s.buildPrefetchers(); err != nil {
+		return nil, err
+	}
+	s.base = s.snapshot()
+	return s, nil
+}
+
+// buildPrefetchers instantiates the configured design point.
+func (s *System) buildPrefetchers() error {
+	n := s.cfg.Cores
+	s.pf = make([]prefetch.Prefetcher, n)
+	s.groupOf = make([]int, n)
+	spec := s.cfg.Prefetcher
+	switch spec.Kind {
+	case KindNone:
+		for i := range s.pf {
+			s.pf[i] = prefetch.NewNull()
+		}
+	case KindNextLine:
+		for i := range s.pf {
+			s.pf[i] = prefetch.NewNextLine(spec.NextLineDegree)
+		}
+	case KindPIF:
+		for i := range s.pf {
+			p, err := pif.New(spec.PIF)
+			if err != nil {
+				return err
+			}
+			s.pf[i] = p
+		}
+	case KindTIFS:
+		for i := range s.pf {
+			p, err := tifs.New(spec.TIFS)
+			if err != nil {
+				return err
+			}
+			s.pf[i] = p
+		}
+	case KindSHIFT:
+		var backend core.LLCBackend
+		if spec.SHIFT.Variant == core.Virtualized {
+			backend = (*llcBackend)(s)
+		}
+		groups := spec.Groups
+		if len(groups) == 0 {
+			all := make([]int, n)
+			for i := range all {
+				all[i] = i
+			}
+			groups = []core.Group{{Name: "all", Cores: all}}
+		}
+		base := spec.SHIFT
+		shs, err := core.NewGroups(base, groups, backend)
+		if err != nil {
+			return err
+		}
+		s.shared = shs
+		s.adapt = make([]adaptState, len(shs))
+		// Pin every group's history range in every LLC bank. NewGroups
+		// allocates consecutive ranges, so the union is contiguous.
+		lo, _ := shs[0].Config().HBRange()
+		_, hi := shs[len(shs)-1].Config().HBRange()
+		if spec.SHIFT.Variant == core.Virtualized {
+			for _, bank := range s.llc {
+				bank.PinRange(lo, hi)
+			}
+		}
+		for gi, g := range groups {
+			for _, c := range g.Cores {
+				if c < 0 || c >= n {
+					return fmt.Errorf("sim: group %q core %d out of range", g.Name, c)
+				}
+				s.groupOf[c] = gi
+				s.pf[c] = shs[gi].CorePrefetcher(c)
+			}
+		}
+		for i := range s.pf {
+			if s.pf[i] == nil {
+				return fmt.Errorf("sim: core %d not covered by any group", i)
+			}
+		}
+	default:
+		return fmt.Errorf("sim: unknown prefetcher kind %d", spec.Kind)
+	}
+	return nil
+}
+
+// tileOf maps a core to its mesh tile (tiled design: one core and one LLC
+// bank per tile).
+func (s *System) tileOf(coreID int) int { return coreID % s.cfg.Mesh.Tiles() }
+
+// transact models one LLC transaction by core coreID to the bank holding
+// blk: accounts one message of class cls with round-trip hops and returns
+// (bank, latency). The latency includes the bank hit time; callers add
+// memory latency on an LLC miss.
+func (s *System) transact(cls noc.MsgClass, coreID int, blk trace.BlockAddr) (bank int, lat int64) {
+	bank = s.mesh.BankForBlock(blk)
+	t := s.tileOf(coreID)
+	hops := s.mesh.Hops(t, bank)
+	s.mesh.Account(cls, 2*hops)
+	lat = s.cfg.L2HitCycles + int64(2*hops*s.cfg.Mesh.HopCycles)
+	return bank, lat
+}
+
+// llcFetch performs a demand or prefetch fill from the LLC (or memory on
+// an LLC miss), returning the total latency.
+func (s *System) llcFetch(cls noc.MsgClass, coreID int, blk trace.BlockAddr) int64 {
+	bank, lat := s.transact(cls, coreID, blk)
+	hit, _ := s.llc[bank].Lookup(blk)
+	if !hit {
+		lat += s.cfg.MemCycles
+		s.llc[bank].Insert(blk, false)
+	}
+	return lat
+}
+
+// Step advances core coreID by one trace record. It reports false when
+// the core's trace is exhausted.
+func (s *System) Step(coreID int) (bool, error) {
+	if s.done[coreID] {
+		return false, nil
+	}
+	rec, err := s.readers[coreID].Next()
+	if err == io.EOF {
+		s.done[coreID] = true
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	s.records[coreID]++
+	clk := s.clocks[coreID]
+
+	// Branch direction modelling: every record that does not fall
+	// through ends in a taken control transfer.
+	if s.bp != nil {
+		pc := rec.Block.Addr()
+		taken := rec.Kind != trace.KindSeq
+		if s.bp[coreID].Predict(pc) != taken {
+			clk.Mispredict()
+		}
+		s.bp[coreID].Update(pc, taken)
+	}
+
+	now := clk.Now()
+	blk := rec.Block
+	fs := &s.fetch[coreID]
+	fs.Accesses++
+	hit, _ := s.l1i[coreID].Lookup(blk)
+	wasPf := false
+	var stall int64
+	if !hit {
+		if pbHit, _ := s.pb[coreID].Lookup(blk); pbHit {
+			// Covered: the prefetch buffer holds the block. Expose only
+			// the remaining in-flight latency, move the block into the
+			// L1-I, and report the access as a prefetch-covered hit.
+			fs.PBHits++
+			wasPf = true
+			hit = true
+			if ready, ok := s.l1mshr[coreID].Lookup(blk); ok {
+				if ready > now {
+					stall = ready - now
+					fs.LatePBHits++
+				}
+				s.l1mshr[coreID].Complete(blk)
+			}
+			s.pb[coreID].Invalidate(blk)
+			s.l1i[coreID].Insert(blk, false)
+		} else {
+			fs.Misses++
+			eliminated := s.cfg.ElimProb > 0 && s.rng[coreID].Bool(s.cfg.ElimProb)
+			lat := s.llcFetch(noc.DemandInstr, coreID, blk)
+			if !eliminated {
+				stall = lat
+			}
+			s.l1i[coreID].Insert(blk, false)
+		}
+	}
+	clk.FetchStall(stall)
+	clk.Retire(int(rec.Instrs))
+
+	// Prefetcher hook (retire order == access order in this frontend).
+	reqs := s.pf[coreID].OnAccess(prefetch.Access{
+		Now: now, Block: blk, Hit: hit, WasPrefetch: wasPf,
+	})
+	if s.cfg.Mode == ModePrefetch {
+		for _, r := range reqs {
+			s.issuePrefetch(coreID, r)
+		}
+	}
+
+	// Background data-side LLC traffic (normalization denominator for
+	// the Figure 9 study).
+	s.dataAcc[coreID] += float64(rec.Instrs) * s.cfg.DataMPKI / 1000
+	for s.dataAcc[coreID] >= 1 {
+		s.dataAcc[coreID]--
+		bank := s.rng[coreID].Intn(len(s.llc))
+		hops := s.mesh.Hops(s.tileOf(coreID), bank)
+		s.mesh.Account(noc.DemandData, 2*hops)
+	}
+	s.l1mshr[coreID].Expire(clk.Now())
+	return true, nil
+}
+
+// issuePrefetch brings r.Block into coreID's prefetch buffer unless it is
+// already cached, buffered, or in flight.
+func (s *System) issuePrefetch(coreID int, r prefetch.Request) {
+	blk := r.Block
+	if s.l1i[coreID].Contains(blk) || s.pb[coreID].Contains(blk) {
+		return
+	}
+	if _, ok := s.l1mshr[coreID].Lookup(blk); ok {
+		return
+	}
+	issue := s.clocks[coreID].Now() + r.Delay
+	lat := s.llcFetch(noc.PrefetchFill, coreID, blk)
+	s.l1mshr[coreID].Allocate(blk, issue, issue+lat)
+	if ev, evicted := s.pb[coreID].Insert(blk, true); evicted && ev.PrefetchUnused {
+		s.fetch[coreID].Discards++
+		s.mesh.Account(noc.Discard, 0)
+	}
+}
+
+// Run advances every core by up to `records` records in lockstep
+// (round-robin, one record per core per round), preserving the recency
+// relationships a real concurrent system would have between the history
+// generator and the replaying cores.
+func (s *System) Run(records int64) error {
+	window := s.cfg.Prefetcher.AdaptWindow
+	if window <= 0 {
+		window = defaultAdaptWindow
+	}
+	adaptive := s.cfg.Prefetcher.AdaptiveGenerator && len(s.shared) > 0
+	for r := int64(0); r < records; r++ {
+		active := false
+		for c := 0; c < s.cfg.Cores; c++ {
+			ok, err := s.Step(c)
+			if err != nil {
+				return err
+			}
+			active = active || ok
+		}
+		if !active {
+			return nil
+		}
+		s.rounds++
+		if adaptive && s.rounds%window == 0 {
+			s.checkAdaptive()
+		}
+	}
+	return nil
+}
+
+// MarkMeasurement snapshots all counters; Results reports deltas from
+// this point (warmup exclusion, as in the paper's SimFlex methodology).
+func (s *System) MarkMeasurement() { s.base = s.snapshot() }
+
+// Mesh exposes the interconnect (read-only use: traffic inspection).
+func (s *System) Mesh() *noc.Mesh { return s.mesh }
+
+// SharedHistories returns SHIFT's shared histories (nil otherwise).
+func (s *System) SharedHistories() []*core.SharedHistory { return s.shared }
+
+// LLCPinnedLines returns the total pinned (history) lines across banks.
+func (s *System) LLCPinnedLines() int {
+	n := 0
+	for _, b := range s.llc {
+		n += b.PinnedCount()
+	}
+	return n
+}
+
+// llcBackend adapts System to core.LLCBackend for virtualized SHIFT.
+type llcBackend System
+
+func (b *llcBackend) sys() *System { return (*System)(b) }
+
+// PointerFor implements core.LLCBackend. The pointer piggybacks on the
+// demand fill, so no extra traffic is accounted.
+func (b *llcBackend) PointerFor(coreID int, blk trace.BlockAddr) (uint32, bool) {
+	s := b.sys()
+	bank := s.mesh.BankForBlock(blk)
+	return s.llc[bank].Pointer(blk)
+}
+
+// UpdatePointer implements core.LLCBackend: an index-update message to
+// the bank's tag array.
+func (b *llcBackend) UpdatePointer(coreID int, blk trace.BlockAddr, ptr uint32) bool {
+	s := b.sys()
+	bank, _ := s.transact(noc.IndexUpdate, coreID, blk)
+	return s.llc[bank].SetPointer(blk, ptr)
+}
+
+// ReadHistoryBlock implements core.LLCBackend: a history-block read
+// ("LogRead" traffic) with full LLC round-trip latency.
+func (b *llcBackend) ReadHistoryBlock(coreID int, hbBlock trace.BlockAddr) int64 {
+	s := b.sys()
+	bank, lat := s.transact(noc.HistRead, coreID, hbBlock)
+	if !s.llc[bank].Contains(hbBlock) {
+		// History blocks are pinned once written; a read before the
+		// first write simply installs the (empty) block.
+		s.llc[bank].Insert(hbBlock, false)
+	}
+	return lat
+}
+
+// WriteHistoryBlock implements core.LLCBackend: a CBB flush ("LogWrite").
+func (b *llcBackend) WriteHistoryBlock(coreID int, hbBlock trace.BlockAddr) int64 {
+	s := b.sys()
+	bank, lat := s.transact(noc.HistWrite, coreID, hbBlock)
+	s.llc[bank].Insert(hbBlock, false)
+	return lat
+}
+
+var _ core.LLCBackend = (*llcBackend)(nil)

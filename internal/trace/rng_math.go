@@ -1,0 +1,7 @@
+package trace
+
+import "math"
+
+// stdPow delegates to math.Pow; split into its own file so rng.go reads as a
+// dependency-free PRNG.
+func stdPow(base, exp float64) float64 { return math.Pow(base, exp) }

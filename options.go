@@ -1,0 +1,87 @@
+package shift
+
+import (
+	"fmt"
+
+	"shift/internal/workload"
+)
+
+// Options parameterizes the per-figure experiment drivers.
+type Options struct {
+	// Workloads selects a subset of Workloads() (nil = all seven).
+	Workloads []string
+	// Cores is the CMP size (default 16).
+	Cores int
+	// CoreType is the core microarchitecture (default Lean-OoO, as in
+	// the paper's main results).
+	CoreType CoreType
+	// WarmupRecords/MeasureRecords are per-core window lengths
+	// (defaults 60000/60000; benchmarks use smaller values).
+	WarmupRecords, MeasureRecords int64
+	// Seed drives simulator randomness.
+	Seed int64
+}
+
+// DefaultOptions returns the reference experiment scale (a full figure
+// regenerates in roughly one to three minutes).
+func DefaultOptions() Options {
+	return Options{
+		Cores:          16,
+		CoreType:       LeanOoO,
+		WarmupRecords:  60000,
+		MeasureRecords: 60000,
+		Seed:           1,
+	}
+}
+
+// QuickOptions returns a reduced scale for smoke tests and benchmarks
+// (~6x faster; shapes hold, absolute numbers are noisier).
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.WarmupRecords = 25000
+	o.MeasureRecords = 25000
+	return o
+}
+
+// normalize validates and fills defaults.
+func (o Options) normalize() (Options, error) {
+	if o.Cores == 0 {
+		o.Cores = 16
+	}
+	if o.WarmupRecords == 0 {
+		o.WarmupRecords = 60000
+	}
+	if o.MeasureRecords == 0 {
+		o.MeasureRecords = 60000
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = Workloads()
+	}
+	for _, w := range o.Workloads {
+		if _, err := workload.ByName(w); err != nil {
+			return o, err
+		}
+	}
+	if o.Cores < 1 || o.Cores > 16 {
+		return o, fmt.Errorf("shift: Cores %d out of [1,16]", o.Cores)
+	}
+	return o, nil
+}
+
+// config builds a run Config from the options.
+func (o Options) config(workloadName string, d Design) Config {
+	return Config{
+		Workload:       workloadName,
+		Design:         d,
+		CoreType:       o.CoreType,
+		Cores:          o.Cores,
+		WarmupRecords:  o.WarmupRecords,
+		MeasureRecords: o.MeasureRecords,
+		Seed:           o.Seed,
+	}
+}
+
+// runBaseline runs the no-prefetch system for normalization.
+func (o Options) runBaseline(workloadName string) (RunResult, error) {
+	return Run(o.config(workloadName, DesignBaseline))
+}

@@ -1,0 +1,147 @@
+package shift
+
+import (
+	"fmt"
+	"strings"
+
+	"shift/internal/area"
+	"shift/internal/stats"
+)
+
+// PDPoint is one performance-density design point: a prefetcher on a core
+// type, with performance and area relative to the prefetcher-less core.
+type PDPoint struct {
+	CoreType string
+	Design   string
+	// RelPerf is geometric-mean speedup over the baseline core.
+	RelPerf float64
+	// RelArea is (core + prefetcher)/core area.
+	RelArea float64
+	// PD is RelPerf/RelArea (>1 = the paper's shaded "PD gain" region).
+	PD float64
+	// PrefetcherAreaMM2 is the per-core prefetcher area cost.
+	PrefetcherAreaMM2 float64
+}
+
+// PerfDensity reproduces the paper's Figure 2 and the Section 5.6
+// analysis: performance density of PIF_2K, PIF_32K, and SHIFT across the
+// Fat-OoO, Lean-OoO, and Lean-IO core designs. The paper's headline:
+// SHIFT improves PD over PIF_32K by 2% (Fat-OoO), 16% (Lean-OoO), and
+// 59% (Lean-IO), and PIF actively loses PD on the Lean-IO core.
+type PerfDensity struct {
+	Points []PDPoint
+}
+
+// llcBytesTotal is the Table I LLC: 512KB per core x 16.
+const llcBytesTotal = 16 * 512 * 1024
+
+// prefetcherAreaPerCore returns a design's per-core area cost in mm².
+func prefetcherAreaPerCore(d Design, cores int) float64 {
+	switch d {
+	case DesignPIF32K:
+		return area.PIFAreaPerCoreMM2(32768, 8192)
+	case DesignPIF2K:
+		return area.PIFAreaPerCoreMM2(2048, 512)
+	case DesignSHIFT, DesignZeroLatSHIFT:
+		// SHIFT's only area cost is the LLC tag extension, shared by all
+		// cores ("0.96mm2 in total").
+		return area.SHIFTTotalAreaMM2(llcBytesTotal) / float64(cores)
+	default:
+		return 0
+	}
+}
+
+// RunPerfDensity regenerates the PD study: for each core type it measures
+// the geometric-mean speedup of each design over the no-prefetch baseline
+// and combines it with the analytical area model.
+func RunPerfDensity(o Options) (*PerfDensity, error) {
+	o, err := o.normalize()
+	if err != nil {
+		return nil, err
+	}
+	designs := []Design{DesignPIF2K, DesignPIF32K, DesignSHIFT}
+	pd := &PerfDensity{}
+	for _, ct := range AllCoreTypes() {
+		oc := o
+		oc.CoreType = ct
+		fig, err := runSpeedupComparison(oc, designs)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range designs {
+			pref := prefetcherAreaPerCore(d, o.Cores)
+			dp := area.Evaluate(d.String(), ct.internal(), pref, fig.Geo[d.String()])
+			pd.Points = append(pd.Points, PDPoint{
+				CoreType:          ct.String(),
+				Design:            d.String(),
+				RelPerf:           dp.RelPerf,
+				RelArea:           dp.RelArea,
+				PD:                dp.PD(),
+				PrefetcherAreaMM2: pref,
+			})
+		}
+	}
+	return pd, nil
+}
+
+// Point returns the design point for (coreType, design), or nil.
+func (p *PerfDensity) Point(ct CoreType, d Design) *PDPoint {
+	for i := range p.Points {
+		if p.Points[i].CoreType == ct.String() && p.Points[i].Design == d.String() {
+			return &p.Points[i]
+		}
+	}
+	return nil
+}
+
+// SHIFTPDGainOver returns SHIFT's PD improvement over the given design on
+// the given core type (e.g. 0.59 for 59%).
+func (p *PerfDensity) SHIFTPDGainOver(d Design, ct CoreType) float64 {
+	sh := p.Point(ct, DesignSHIFT)
+	other := p.Point(ct, d)
+	if sh == nil || other == nil || other.PD == 0 {
+		return 0
+	}
+	return sh.PD/other.PD - 1
+}
+
+// Figure2 renders the PIF_32K rows of the study — the paper's Figure 2
+// (relative performance vs relative area against the PD=1 line).
+func (p *PerfDensity) Figure2() string {
+	t := stats.NewTable("Core", "Relative perf", "Relative area", "PD", "Region")
+	for _, ct := range AllCoreTypes() {
+		pt := p.Point(ct, DesignPIF32K)
+		if pt == nil {
+			continue
+		}
+		region := "PD gain"
+		if pt.PD < 1 {
+			region = "PD loss"
+		} else if pt.PD < 1.005 {
+			region = "~PD neutral"
+		}
+		t.AddRow(ct.String(), fmt.Sprintf("%.3f", pt.RelPerf),
+			fmt.Sprintf("%.3f", pt.RelArea), fmt.Sprintf("%.3f", pt.PD), region)
+	}
+	return "Figure 2: PIF_32K performance vs area by core type (PD=1 line separates gain/loss)\n" + t.String()
+}
+
+// String renders the full Section 5.6 PD table.
+func (p *PerfDensity) String() string {
+	t := stats.NewTable("Core", "Design", "Rel perf", "Pref. area/core (mm^2)", "Rel area", "PD")
+	for _, pt := range p.Points {
+		t.AddRow(pt.CoreType, pt.Design,
+			fmt.Sprintf("%.3f", pt.RelPerf),
+			fmt.Sprintf("%.3f", pt.PrefetcherAreaMM2),
+			fmt.Sprintf("%.3f", pt.RelArea),
+			fmt.Sprintf("%.3f", pt.PD))
+	}
+	var b strings.Builder
+	b.WriteString("Section 5.6: Performance-density comparison\n")
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "SHIFT PD gain over PIF_32K: Fat-OoO %+.0f%%, Lean-OoO %+.0f%%, Lean-IO %+.0f%% (paper: +2%%, +16%%, +59%%)\n",
+		p.SHIFTPDGainOver(DesignPIF32K, FatOoO)*100,
+		p.SHIFTPDGainOver(DesignPIF32K, LeanOoO)*100,
+		p.SHIFTPDGainOver(DesignPIF32K, LeanIO)*100)
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package shift
+
+import (
+	"fmt"
+	"strings"
+
+	"shift/internal/core"
+	"shift/internal/history"
+	"shift/internal/sim"
+	"shift/internal/stats"
+	"shift/internal/workload"
+)
+
+// SensitivityPoint is one configuration of a design-parameter sweep.
+type SensitivityPoint struct {
+	// Parameter names the swept knob; Value is its setting.
+	Parameter string
+	Value     int
+	// Speedup is over the no-prefetch baseline; Coverage is the fraction
+	// of baseline misses eliminated.
+	Speedup  float64
+	Coverage float64
+}
+
+// Sensitivity reproduces the Section 4.1 design-space study the paper
+// summarizes ("a spatial region size of eight, a lookahead of five and a
+// stream address buffer capacity of twelve achieve the maximum
+// performance"; results were omitted from the paper for space). It also
+// sweeps the stream count, which Section 4.1 fixes at four.
+type Sensitivity struct {
+	Points   []SensitivityPoint
+	Workload string
+}
+
+// RunSensitivity sweeps SHIFT's SAB parameters on one workload (the first
+// of o.Workloads).
+func RunSensitivity(o Options) (*Sensitivity, error) {
+	o, err := o.normalize()
+	if err != nil {
+		return nil, err
+	}
+	wname := o.Workloads[0]
+	wp, err := workload.ByName(wname)
+	if err != nil {
+		return nil, err
+	}
+	base, err := o.runBaseline(wname)
+	if err != nil {
+		return nil, err
+	}
+
+	runPoint := func(param string, value int, mut func(*history.SABConfig)) (SensitivityPoint, error) {
+		shc := core.DefaultConfig()
+		mut(&shc.SAB)
+		sc := sim.DefaultConfig()
+		sc.Cores = o.Cores
+		sc.CoreType = o.CoreType.internal()
+		sc.Seed = o.Seed
+		sc.Prefetcher = sim.PrefetcherSpec{Kind: sim.KindSHIFT, SHIFT: shc}
+		res, err := sim.Run(sim.RunSpec{
+			Config: sc, Workload: wp,
+			WarmupRecords: o.WarmupRecords, MeasureRecords: o.MeasureRecords,
+		})
+		if err != nil {
+			return SensitivityPoint{}, err
+		}
+		return SensitivityPoint{
+			Parameter: param,
+			Value:     value,
+			Speedup:   res.Throughput / base.Throughput,
+			Coverage:  1 - float64(res.Fetch.Misses)/float64(base.Misses),
+		}, nil
+	}
+
+	s := &Sensitivity{Workload: wname}
+	for _, span := range []int{4, 8, 16} {
+		p, err := runPoint("region span", span, func(c *history.SABConfig) { c.Span = span })
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, p)
+	}
+	for _, la := range []int{1, 3, 5, 8} {
+		p, err := runPoint("lookahead", la, func(c *history.SABConfig) { c.Lookahead = la })
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, p)
+	}
+	for _, cap := range []int{6, 12, 24} {
+		p, err := runPoint("SAB capacity", cap, func(c *history.SABConfig) { c.Capacity = cap })
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, p)
+	}
+	for _, streams := range []int{1, 2, 4, 8} {
+		p, err := runPoint("streams", streams, func(c *history.SABConfig) { c.Streams = streams })
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s, nil
+}
+
+// Best returns the best value found for a parameter.
+func (s *Sensitivity) Best(param string) (value int, speedup float64) {
+	for _, p := range s.Points {
+		if p.Parameter == param && p.Speedup > speedup {
+			value, speedup = p.Value, p.Speedup
+		}
+	}
+	return
+}
+
+// String renders the sweep.
+func (s *Sensitivity) String() string {
+	t := stats.NewTable("Parameter", "Value", "Speedup", "Miss coverage (%)")
+	for _, p := range s.Points {
+		t.AddRow(p.Parameter, fmt.Sprintf("%d", p.Value),
+			fmt.Sprintf("%.3f", p.Speedup), fmt.Sprintf("%.1f", p.Coverage*100))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 4.1 sensitivity (SHIFT on %s)\n", s.Workload)
+	b.WriteString(t.String())
+	for _, param := range []string{"region span", "lookahead", "SAB capacity", "streams"} {
+		v, sp := s.Best(param)
+		fmt.Fprintf(&b, "best %s: %d (%.3fx)\n", param, v, sp)
+	}
+	b.WriteString("(paper: span 8, lookahead 5, capacity 12, 4 streams are the tuned values)\n")
+	return b.String()
+}

@@ -1,0 +1,330 @@
+// Package shift is a from-scratch reproduction of "SHIFT: Shared History
+// Instruction Fetch for Lean-Core Server Processors" (Kaynak, Grot,
+// Falsafi; MICRO-46, 2013).
+//
+// The package exposes a public API over the full simulation stack in
+// internal/: synthetic server workloads (Table I), a 16-core tiled CMP
+// simulator (cores, L1-I caches, banked NUCA LLC, 2D mesh), the
+// prefetcher design points of the paper's evaluation (next-line, PIF_2K,
+// PIF_32K, ZeroLat-SHIFT, virtualized SHIFT), and one experiment driver
+// per figure and table of the paper. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Quick start:
+//
+//	res, err := shift.Run(shift.DefaultRunConfig("OLTP Oracle", shift.DesignSHIFT))
+//	base, err := shift.Run(shift.DefaultRunConfig("OLTP Oracle", shift.DesignBaseline))
+//	fmt.Printf("SHIFT speedup: %.2fx\n", res.Throughput/base.Throughput)
+//
+// or run a whole experiment:
+//
+//	fig8, err := shift.RunFigure8(shift.DefaultOptions())
+//	fmt.Println(fig8)
+package shift
+
+import (
+	"fmt"
+
+	"shift/internal/core"
+	"shift/internal/cpu"
+	"shift/internal/noc"
+	"shift/internal/pif"
+	"shift/internal/sim"
+	"shift/internal/tifs"
+	"shift/internal/workload"
+)
+
+// CoreType selects a core microarchitecture (Table I / Section 2.3).
+type CoreType int
+
+const (
+	// LeanOoO is the ARM Cortex-A15-class core used for the paper's main
+	// results.
+	LeanOoO CoreType = iota
+	// FatOoO is the Xeon-class core.
+	FatOoO
+	// LeanIO is the ARM Cortex-A8-class in-order core.
+	LeanIO
+)
+
+// String names the core type as in the paper.
+func (t CoreType) String() string { return t.internal().String() }
+
+func (t CoreType) internal() cpu.CoreType {
+	switch t {
+	case FatOoO:
+		return cpu.FatOoO
+	case LeanIO:
+		return cpu.LeanIO
+	default:
+		return cpu.LeanOoO
+	}
+}
+
+// AllCoreTypes returns the three evaluated core designs.
+func AllCoreTypes() []CoreType { return []CoreType{FatOoO, LeanOoO, LeanIO} }
+
+// Design is a prefetcher design point from the paper's evaluation.
+type Design int
+
+const (
+	// DesignBaseline is the no-prefetch system.
+	DesignBaseline Design = iota
+	// DesignNextLine is the next-line prefetcher of Section 2.2.
+	DesignNextLine
+	// DesignPIF2K is per-core PIF with 2K records + 512 index entries
+	// (equal aggregate storage to SHIFT).
+	DesignPIF2K
+	// DesignPIF32K is the original PIF design (32K records, 8K index).
+	DesignPIF32K
+	// DesignZeroLatSHIFT is SHIFT with dedicated zero-latency history
+	// storage (the paper's ZeroLat-SHIFT).
+	DesignZeroLatSHIFT
+	// DesignSHIFT is the full virtualized SHIFT (history in the LLC).
+	DesignSHIFT
+	// DesignTIFS is the miss-stream predecessor of PIF (Ferdman et al.,
+	// MICRO 2008) — an extension beyond the paper's evaluated set, for
+	// studying the access-vs-miss-stream design choice of Section 2.2.
+	DesignTIFS
+)
+
+var designNames = [...]string{"Baseline", "NextLine", "PIF_2K", "PIF_32K", "ZeroLat-SHIFT", "SHIFT", "TIFS"}
+
+// String names the design point as in the paper's figures.
+func (d Design) String() string {
+	if int(d) < len(designNames) {
+		return designNames[d]
+	}
+	return fmt.Sprintf("Design(%d)", int(d))
+}
+
+// FigureDesigns returns the comparison set of Figures 8 and 10.
+func FigureDesigns() []Design {
+	return []Design{DesignNextLine, DesignPIF2K, DesignPIF32K, DesignZeroLatSHIFT, DesignSHIFT}
+}
+
+// Workloads returns the names of the seven Table I server workloads.
+func Workloads() []string { return workload.Names() }
+
+// Config describes a single simulation run.
+type Config struct {
+	// Workload is one of Workloads().
+	Workload string
+	// Design is the prefetcher design point.
+	Design Design
+	// CoreType selects the core microarchitecture (default Lean-OoO).
+	CoreType CoreType
+	// Cores is the core count (default 16; must not exceed the 4x4 mesh).
+	Cores int
+	// HistEntries overrides the history-record capacity (0 = design
+	// default: 32K for PIF_32K/SHIFT, 2K for PIF_2K). Used by the
+	// Figure 6 sweep.
+	HistEntries int
+	// PredictionOnly runs the Section 5.2 trace-based methodology: no
+	// prefetches are issued and coverage is tracked in the stream
+	// address buffers only.
+	PredictionOnly bool
+	// CommonalityMode additionally starts replay on any uncovered access
+	// (the Section 3 study); implies prediction-style accounting.
+	CommonalityMode bool
+	// ElimProb converts each instruction miss into a hit with this
+	// probability (the Figure 1 methodology).
+	ElimProb float64
+	// WarmupRecords and MeasureRecords are per-core trace lengths
+	// (defaults 60000/60000).
+	WarmupRecords, MeasureRecords int64
+	// Seed drives simulator-internal randomness.
+	Seed int64
+}
+
+// DefaultRunConfig returns a 16-core Lean-OoO Table I configuration for
+// the given workload and design.
+func DefaultRunConfig(workloadName string, d Design) Config {
+	return Config{
+		Workload:       workloadName,
+		Design:         d,
+		CoreType:       LeanOoO,
+		Cores:          16,
+		WarmupRecords:  60000,
+		MeasureRecords: 60000,
+		Seed:           1,
+	}
+}
+
+// shiftConfig builds the SHIFT configuration for a design point.
+func shiftConfig(d Design, histEntries int, commonality bool) core.Config {
+	sc := core.DefaultConfig()
+	if d == DesignZeroLatSHIFT {
+		sc.Variant = core.Dedicated
+	}
+	if histEntries > 0 {
+		sc.HistEntries = histEntries
+	}
+	sc.AllocOnAccess = commonality
+	return sc
+}
+
+// pifConfig builds the PIF configuration for a design point.
+func pifConfig(d Design, histEntries int) pif.Config {
+	var pc pif.Config
+	if d == DesignPIF2K {
+		pc = pif.Config2K()
+	} else {
+		pc = pif.Config32K()
+	}
+	if histEntries > 0 {
+		pc = pif.WithHistEntries(histEntries)
+	}
+	return pc
+}
+
+// spec translates the public Config into an internal sim.RunSpec.
+func (c Config) spec() (sim.RunSpec, error) {
+	wp, err := workload.ByName(c.Workload)
+	if err != nil {
+		return sim.RunSpec{}, err
+	}
+	sc := sim.DefaultConfig()
+	sc.CoreType = c.CoreType.internal()
+	if c.Cores > 0 {
+		sc.Cores = c.Cores
+	}
+	sc.Seed = c.Seed
+	sc.ElimProb = c.ElimProb
+	if c.PredictionOnly || c.CommonalityMode {
+		sc.Mode = sim.ModePrediction
+	}
+	switch c.Design {
+	case DesignBaseline:
+		sc.Prefetcher = sim.PrefetcherSpec{Kind: sim.KindNone}
+	case DesignNextLine:
+		sc.Prefetcher = sim.PrefetcherSpec{Kind: sim.KindNextLine, NextLineDegree: 1}
+	case DesignPIF2K, DesignPIF32K:
+		sc.Prefetcher = sim.PrefetcherSpec{Kind: sim.KindPIF, PIF: pifConfig(c.Design, c.HistEntries)}
+	case DesignZeroLatSHIFT, DesignSHIFT:
+		sc.Prefetcher = sim.PrefetcherSpec{
+			Kind:  sim.KindSHIFT,
+			SHIFT: shiftConfig(c.Design, c.HistEntries, c.CommonalityMode),
+		}
+	case DesignTIFS:
+		tc := tifs.DefaultConfig()
+		if c.HistEntries > 0 {
+			tc.HistEntries = c.HistEntries
+		}
+		sc.Prefetcher = sim.PrefetcherSpec{Kind: sim.KindTIFS, TIFS: tc}
+	default:
+		return sim.RunSpec{}, fmt.Errorf("shift: unknown design %d", c.Design)
+	}
+	warm, meas := c.WarmupRecords, c.MeasureRecords
+	if warm == 0 {
+		warm = 60000
+	}
+	if meas == 0 {
+		meas = 60000
+	}
+	return sim.RunSpec{Config: sc, Workload: wp, WarmupRecords: warm, MeasureRecords: meas}, nil
+}
+
+// TrafficCounts breaks LLC/NoC traffic down by message class
+// (message counts; Hops fields accumulate round-trip hop counts for the
+// power model).
+type TrafficCounts struct {
+	DemandInstr, DemandData     int64
+	PrefetchFill                int64
+	HistRead, HistWrite         int64
+	IndexUpdate                 int64
+	Discard                     int64
+	HistReadHops, HistWriteHops int64
+	IndexUpdateHops             int64
+}
+
+// Demand returns the demand traffic (instruction + data), the Figure 9
+// normalization denominator.
+func (t TrafficCounts) Demand() int64 { return t.DemandInstr + t.DemandData }
+
+// RunResult summarizes one simulation run.
+type RunResult struct {
+	// Design and Workload identify the run.
+	Design, Workload string
+	// Cores is the simulated core count.
+	Cores int
+	// Instructions and Records are totals over the measurement window.
+	Instructions, Records int64
+	// MeanCoreCycles is the per-core average cycle count of the window.
+	MeanCoreCycles int64
+	// Throughput is the sum of per-core IPC (the paper's performance
+	// metric: application instructions over cycles).
+	Throughput float64
+	// MPKI is effective L1-I misses per kilo-instruction.
+	MPKI float64
+	// FetchStallFraction is the share of cycles lost to exposed
+	// instruction-fetch stalls.
+	FetchStallFraction float64
+	// BranchAccuracy is the hybrid predictor accuracy.
+	BranchAccuracy float64
+	// Accesses/Misses/CoveredByPrefetch/Discards are demand-fetch
+	// outcomes (Misses are effective misses after the prefetch buffer).
+	Accesses, Misses, CoveredByPrefetch, Discards int64
+	// MissCoverage and AccessCoverage are the prediction-mode coverages
+	// (Figures 6 and 3 respectively).
+	MissCoverage, AccessCoverage float64
+	// Traffic is the per-class traffic breakdown.
+	Traffic TrafficCounts
+	// HistRecordsWritten counts spatial region records appended to the
+	// (shared or per-core) history.
+	HistRecordsWritten int64
+}
+
+func fromSim(r sim.Result, workloadName string) RunResult {
+	out := RunResult{
+		Design:             r.Label,
+		Workload:           workloadName,
+		Cores:              r.Cores,
+		Instructions:       r.Instructions,
+		Records:            r.Records,
+		Throughput:         r.Throughput,
+		MPKI:               r.MPKI,
+		FetchStallFraction: r.FetchStallFraction,
+		BranchAccuracy:     r.BranchAccuracy,
+		Accesses:           r.Fetch.Accesses,
+		Misses:             r.Fetch.Misses,
+		CoveredByPrefetch:  r.Fetch.PBHits,
+		Discards:           r.Fetch.Discards,
+		MissCoverage:       r.MissCoverage(),
+		AccessCoverage:     r.AccessCoverage(),
+		HistRecordsWritten: r.Pf.RecordsWritten,
+	}
+	var cycles int64
+	for _, c := range r.PerCore {
+		cycles += c.Cycles
+	}
+	if r.Cores > 0 {
+		out.MeanCoreCycles = cycles / int64(r.Cores)
+	}
+	out.Traffic = TrafficCounts{
+		DemandInstr:     r.Traffic[noc.DemandInstr],
+		DemandData:      r.Traffic[noc.DemandData],
+		PrefetchFill:    r.Traffic[noc.PrefetchFill],
+		HistRead:        r.Traffic[noc.HistRead],
+		HistWrite:       r.Traffic[noc.HistWrite],
+		IndexUpdate:     r.Traffic[noc.IndexUpdate],
+		Discard:         r.Traffic[noc.Discard],
+		HistReadHops:    r.Hops[noc.HistRead],
+		HistWriteHops:   r.Hops[noc.HistWrite],
+		IndexUpdateHops: r.Hops[noc.IndexUpdate],
+	}
+	return out
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (RunResult, error) {
+	spec, err := cfg.spec()
+	if err != nil {
+		return RunResult{}, err
+	}
+	res, err := sim.Run(spec)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return fromSim(res, cfg.Workload), nil
+}

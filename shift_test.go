@@ -1,0 +1,417 @@
+package shift
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps root-package tests fast: one small workload, 8 cores,
+// short windows. Shapes (orderings) still hold at this scale.
+func tinyOptions() Options {
+	return Options{
+		Workloads:      []string{"Web Search"},
+		Cores:          8,
+		CoreType:       LeanOoO,
+		WarmupRecords:  12000,
+		MeasureRecords: 12000,
+		Seed:           1,
+	}
+}
+
+func tinyConfig(d Design) Config {
+	cfg := DefaultRunConfig("Web Search", d)
+	cfg.Cores = 8
+	cfg.WarmupRecords = 12000
+	cfg.MeasureRecords = 12000
+	return cfg
+}
+
+func TestWorkloadsList(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 7 {
+		t.Fatalf("got %d workloads, want 7", len(ws))
+	}
+	if ws[0] != "OLTP DB2" || ws[6] != "Web Search" {
+		t.Errorf("unexpected workload list: %v", ws)
+	}
+}
+
+func TestDesignAndCoreTypeNames(t *testing.T) {
+	if DesignSHIFT.String() != "SHIFT" || DesignZeroLatSHIFT.String() != "ZeroLat-SHIFT" ||
+		DesignPIF32K.String() != "PIF_32K" || DesignPIF2K.String() != "PIF_2K" ||
+		DesignNextLine.String() != "NextLine" || DesignBaseline.String() != "Baseline" {
+		t.Error("design names do not match the paper's figures")
+	}
+	if Design(99).String() == "" {
+		t.Error("unknown design should format")
+	}
+	if LeanOoO.String() != "Lean-OoO" || FatOoO.String() != "Fat-OoO" || LeanIO.String() != "Lean-IO" {
+		t.Error("core type names")
+	}
+	if len(FigureDesigns()) != 5 || len(AllCoreTypes()) != 3 {
+		t.Error("comparison sets wrong size")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{Workload: "nope", Design: DesignBaseline}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := Run(Config{Workload: "Web Search", Design: Design(42)}); err == nil {
+		t.Error("unknown design accepted")
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o, err := Options{}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Cores != 16 || len(o.Workloads) != 7 || o.MeasureRecords != 60000 {
+		t.Errorf("defaults not filled: %+v", o)
+	}
+	if _, err := (Options{Workloads: []string{"zzz"}}).normalize(); err == nil {
+		t.Error("bad workload accepted")
+	}
+	if _, err := (Options{Cores: 99}).normalize(); err == nil {
+		t.Error("too many cores accepted")
+	}
+	if QuickOptions().MeasureRecords >= DefaultOptions().MeasureRecords {
+		t.Error("QuickOptions should be smaller")
+	}
+}
+
+func TestRunSHIFTBeatsBaseline(t *testing.T) {
+	base, err := Run(tinyConfig(DesignBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := Run(tinyConfig(DesignSHIFT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Throughput <= base.Throughput {
+		t.Errorf("SHIFT %.3f <= baseline %.3f", sh.Throughput, base.Throughput)
+	}
+	if sh.CoveredByPrefetch == 0 || sh.Traffic.HistRead == 0 {
+		t.Error("SHIFT produced no coverage or history traffic")
+	}
+	if base.MPKI <= 0 || base.FetchStallFraction <= 0 {
+		t.Errorf("baseline stats: MPKI=%v stall=%v", base.MPKI, base.FetchStallFraction)
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	fig, err := RunFigure1(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := fig.Speedup["Web Search"]
+	if len(row) != 11 || row[0] != 1.0 {
+		t.Fatalf("row = %v", row)
+	}
+	// Monotone-ish increase; final point must clearly beat the first.
+	if row[10] <= 1.05 {
+		t.Errorf("perfect-I speedup %v too small", row[10])
+	}
+	if fig.PerfectGeoMean() != fig.GeoMean[10] {
+		t.Error("PerfectGeoMean mismatch")
+	}
+	if !strings.Contains(fig.String(), "Figure 1") {
+		t.Error("String output")
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	fig, err := RunFigure3(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := fig.Commonality["Web Search"]
+	if v < 80 || v > 100 {
+		t.Errorf("commonality = %v%%, want high (paper >90%%)", v)
+	}
+	if fig.Mean() != v {
+		t.Error("Mean over one workload should equal it")
+	}
+	if !strings.Contains(fig.String(), "Figure 3") {
+		t.Error("String output")
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	fig, err := RunFigure6(tinyOptions(), []int{2048, 32768})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.SHIFT) != 2 || len(fig.PIF) != 2 {
+		t.Fatalf("curve lengths: %d/%d", len(fig.SHIFT), len(fig.PIF))
+	}
+	// Coverage grows with history size, and SHIFT dominates PIF at equal
+	// aggregate size (the figure's headline claim).
+	if fig.SHIFT[1] <= fig.SHIFT[0] {
+		t.Errorf("SHIFT coverage not increasing: %v", fig.SHIFT)
+	}
+	if !fig.SHIFTAlwaysAbovePIF() {
+		t.Errorf("SHIFT %v not above PIF %v", fig.SHIFT, fig.PIF)
+	}
+	if !strings.Contains(fig.String(), "Figure 6") {
+		t.Error("String output")
+	}
+}
+
+func TestFigure7(t *testing.T) {
+	fig, err := RunFigure7(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 3 {
+		t.Fatalf("got %d rows", len(fig.Rows))
+	}
+	if fig.MeanCovered(DesignPIF32K) <= fig.MeanCovered(DesignPIF2K) {
+		t.Errorf("PIF_32K covered %.1f <= PIF_2K %.1f",
+			fig.MeanCovered(DesignPIF32K), fig.MeanCovered(DesignPIF2K))
+	}
+	if fig.MeanCovered(DesignSHIFT) <= fig.MeanCovered(DesignPIF2K) {
+		t.Errorf("SHIFT covered %.1f <= PIF_2K %.1f",
+			fig.MeanCovered(DesignSHIFT), fig.MeanCovered(DesignPIF2K))
+	}
+	for _, r := range fig.Rows {
+		if r.Covered < 0 || r.Uncovered < 0 || r.Overpredicted < 0 {
+			t.Errorf("negative bar: %+v", r)
+		}
+	}
+	if !strings.Contains(fig.String(), "Figure 7") {
+		t.Error("String output")
+	}
+}
+
+func TestFigure8(t *testing.T) {
+	fig, err := RunFigure8(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := fig.Geo
+	// The paper's ordering: NextLine < PIF_2K < SHIFT <= ZeroLat <= PIF_32K.
+	if !(geo["NextLine"] < geo["PIF_32K"]) {
+		t.Errorf("NextLine %v !< PIF_32K %v", geo["NextLine"], geo["PIF_32K"])
+	}
+	if !(geo["PIF_2K"] < geo["SHIFT"]) {
+		t.Errorf("PIF_2K %v !< SHIFT %v", geo["PIF_2K"], geo["SHIFT"])
+	}
+	if geo["SHIFT"] > geo["ZeroLat-SHIFT"]*1.02 {
+		t.Errorf("SHIFT %v implausibly above ZeroLat %v", geo["SHIFT"], geo["ZeroLat-SHIFT"])
+	}
+	if r := fig.SHIFTRetainsPIFBenefit(); r < 0.5 {
+		t.Errorf("SHIFT retains only %.0f%% of PIF benefit", r*100)
+	}
+	if fig.MaxSHIFTSpeedup() < 1 {
+		t.Error("MaxSHIFTSpeedup < 1")
+	}
+	if !strings.Contains(fig.String(), "Figure 8") {
+		t.Error("String output")
+	}
+}
+
+func TestFigure9(t *testing.T) {
+	fig, err := RunFigure9(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 1 {
+		t.Fatalf("rows = %d", len(fig.Rows))
+	}
+	r := fig.Rows[0]
+	if r.LogRead <= 0 || r.LogWrite <= 0 || r.IndexUpdate <= 0 {
+		t.Errorf("missing traffic components: %+v", r)
+	}
+	if r.Total() <= 0 || r.Total() > 60 {
+		t.Errorf("total traffic increase %.1f%% implausible", r.Total())
+	}
+	name, worst := fig.WorstTotal()
+	if name != "Web Search" || worst != r.Total() {
+		t.Error("WorstTotal wrong")
+	}
+	if !strings.Contains(fig.String(), "Figure 9") {
+		t.Error("String output")
+	}
+}
+
+func TestFigure10(t *testing.T) {
+	o := tinyOptions()
+	o.Workloads = nil // consolidation uses its own fixed set
+	fig, err := RunFigure10(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Workloads) != 4 {
+		t.Fatalf("workloads = %v", fig.Workloads)
+	}
+	if fig.Geo["SHIFT"] <= 1 {
+		t.Errorf("consolidated SHIFT geo speedup %v <= 1", fig.Geo["SHIFT"])
+	}
+	if frac := fig.SHIFTvsPIF32KAbsolute(); frac < 0.85 || frac > 1.1 {
+		t.Errorf("SHIFT/PIF_32K absolute = %v, want ~0.95", frac)
+	}
+	if !strings.Contains(fig.String(), "Figure 10") {
+		t.Error("String output")
+	}
+}
+
+func TestFigure10RejectsTooFewCores(t *testing.T) {
+	o := tinyOptions()
+	o.Cores = 2
+	if _, err := RunFigure10(o); err == nil {
+		t.Error("2 cores for 4 workloads accepted")
+	}
+}
+
+func TestPerfDensity(t *testing.T) {
+	pd, err := RunPerfDensity(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pd.Points) != 9 {
+		t.Fatalf("points = %d, want 9", len(pd.Points))
+	}
+	// SHIFT's PD advantage over PIF_32K must grow as cores get leaner
+	// (the paper's 2% / 16% / 59% trend).
+	fat := pd.SHIFTPDGainOver(DesignPIF32K, FatOoO)
+	lean := pd.SHIFTPDGainOver(DesignPIF32K, LeanOoO)
+	io := pd.SHIFTPDGainOver(DesignPIF32K, LeanIO)
+	if !(fat < lean && lean < io) {
+		t.Errorf("PD gains not increasing with leanness: %.3f %.3f %.3f", fat, lean, io)
+	}
+	if io <= 0.2 {
+		t.Errorf("Lean-IO PD gain %.2f too small (paper: 59%%)", io)
+	}
+	// PIF_32K on Lean-IO must lose PD (Figure 2's key point).
+	if p := pd.Point(LeanIO, DesignPIF32K); p == nil || p.PD >= 1 {
+		t.Errorf("PIF_32K on Lean-IO should lose PD, got %+v", p)
+	}
+	if pd.Point(LeanOoO, Design(42)) != nil {
+		t.Error("unknown point should be nil")
+	}
+	if !strings.Contains(pd.Figure2(), "Figure 2") || !strings.Contains(pd.String(), "5.6") {
+		t.Error("String outputs")
+	}
+}
+
+func TestPowerStudy(t *testing.T) {
+	p, err := RunPowerStudy(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rows) != 1 || p.Rows[0].ExtraMW <= 0 {
+		t.Fatalf("rows = %+v", p.Rows)
+	}
+	if !p.UnderPaperBudget() {
+		t.Errorf("power %.1f mW exceeds the paper's 150mW", p.MaxMW)
+	}
+	if !strings.Contains(p.String(), "5.7") {
+		t.Error("String output")
+	}
+}
+
+func TestStorageReport(t *testing.T) {
+	r := RunStorageReport()
+	if r.PIF32KPerCoreKB < 210 || r.PIF32KPerCoreKB > 216 {
+		t.Errorf("PIF storage = %.1fKB, want ~213", r.PIF32KPerCoreKB)
+	}
+	if r.SHIFTHistoryLines != 2731 {
+		t.Errorf("history lines = %d, want 2731", r.SHIFTHistoryLines)
+	}
+	if r.SHIFTIndexKB != 240 {
+		t.Errorf("index = %vKB, want 240", r.SHIFTIndexKB)
+	}
+	if r.AreaRatio < 13 || r.AreaRatio > 16 {
+		t.Errorf("area ratio = %.1f, want ~14-15x", r.AreaRatio)
+	}
+	if r.VirtualizedPIFMB < 2.5 || r.VirtualizedPIFMB > 2.9 {
+		t.Errorf("virtualized PIF = %.2fMB, want ~2.7", r.VirtualizedPIFMB)
+	}
+	if !strings.Contains(r.String(), "14") {
+		t.Error("String output")
+	}
+}
+
+func TestSensitivity(t *testing.T) {
+	s, err := RunSensitivity(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 14 {
+		t.Fatalf("points = %d, want 14", len(s.Points))
+	}
+	for _, p := range s.Points {
+		if p.Speedup <= 0.8 || p.Speedup > 3 {
+			t.Errorf("%s=%d speedup %v implausible", p.Parameter, p.Value, p.Speedup)
+		}
+	}
+	if v, _ := s.Best("lookahead"); v == 0 {
+		t.Error("no best lookahead found")
+	}
+	if !strings.Contains(s.String(), "sensitivity") {
+		t.Error("String output")
+	}
+}
+
+func TestTableI(t *testing.T) {
+	s := TableI()
+	for _, want := range []string{"Lean-OoO", "32KB", "OLTP Oracle", "45ns", "gShare"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+}
+
+func TestGeneratorStudy(t *testing.T) {
+	g, err := RunGeneratorStudy(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Points) < 3 {
+		t.Fatalf("points = %d", len(g.Points))
+	}
+	// Section 6.1: no sensitivity to the generator choice — allow a small
+	// spread at test scale.
+	if g.Spread > 0.08 {
+		t.Errorf("speedup spread %.1f%% too large (paper: none)", g.Spread*100)
+	}
+	for _, p := range g.Points {
+		if p.Speedup <= 1 {
+			t.Errorf("generator %d: speedup %v <= 1", p.GeneratorCore, p.Speedup)
+		}
+	}
+	if !strings.Contains(g.String(), "6.1") {
+		t.Error("String output")
+	}
+}
+
+func TestTIFSDesign(t *testing.T) {
+	base, err := Run(tinyConfig(DesignBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := Run(tinyConfig(DesignTIFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p32, err := Run(tinyConfig(DesignPIF32K))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DesignTIFS.String() != "TIFS" {
+		t.Error("TIFS name")
+	}
+	if tf.Throughput <= base.Throughput {
+		t.Errorf("TIFS %.3f <= baseline %.3f", tf.Throughput, base.Throughput)
+	}
+	// The access-vs-miss-stream result of Section 2.2: recording full
+	// access streams (PIF) beats recording miss streams (TIFS) at equal
+	// history capacity, because miss streams depend on cache content.
+	if tf.Throughput >= p32.Throughput {
+		t.Errorf("TIFS %.3f >= PIF_32K %.3f; access streams should win",
+			tf.Throughput, p32.Throughput)
+	}
+}

@@ -1,0 +1,79 @@
+package shift
+
+import (
+	"fmt"
+	"strings"
+
+	"shift/internal/area"
+	"shift/internal/core"
+	"shift/internal/stats"
+)
+
+// StorageReport reproduces the storage-cost arithmetic of Sections 4.2,
+// 5.1, 5.6, and 6.2 — the numbers behind the paper's "14x less storage
+// cost" headline. It is purely analytical (no simulation).
+type StorageReport struct {
+	// PIF32KPerCoreKB is PIF's per-core history+index storage (213KB).
+	PIF32KPerCoreKB float64
+	// PIF32KPerCoreMM2 is its area (0.9mm²).
+	PIF32KPerCoreMM2 float64
+	// PIF32KAggregateMM2 is the 16-core total (14.4mm²).
+	PIF32KAggregateMM2 float64
+	// PIF2KPerCoreKB is the equal-cost design's per-core storage.
+	PIF2KPerCoreKB float64
+	// SHIFTHistoryKB is the LLC capacity the shared history occupies
+	// (171KB; 2,731 lines).
+	SHIFTHistoryKB    float64
+	SHIFTHistoryLines int
+	// SHIFTIndexKB is the LLC tag-array extension (240KB).
+	SHIFTIndexKB float64
+	// SHIFTTotalMM2 is SHIFT's total area cost (0.96mm²).
+	SHIFTTotalMM2 float64
+	// AreaRatio is PIF32KAggregateMM2 / SHIFTTotalMM2 (~14x).
+	AreaRatio float64
+	// VirtualizedPIFMB is the LLC capacity a virtualized per-core PIF
+	// would need (Section 6.2: 2.7MB, growing linearly with cores).
+	VirtualizedPIFMB float64
+	// Cores is the CMP size used for aggregates.
+	Cores int
+}
+
+// RunStorageReport computes the storage report for a 16-core Table I CMP.
+func RunStorageReport() *StorageReport {
+	const cores = 16
+	shiftCfg := core.DefaultConfig()
+	r := &StorageReport{
+		PIF32KPerCoreKB:   float64(area.PIFStorageBytes(32768, 8192)) / 1024,
+		PIF32KPerCoreMM2:  area.PIFAreaPerCoreMM2(32768, 8192),
+		PIF2KPerCoreKB:    float64(area.PIFStorageBytes(2048, 512)) / 1024,
+		SHIFTHistoryKB:    float64(shiftCfg.HistoryFootprintBytes()) / 1024,
+		SHIFTHistoryLines: shiftCfg.HistoryBlocks(),
+		SHIFTIndexKB:      float64(area.SHIFTIndexBytes(llcBytesTotal)) / 1024,
+		SHIFTTotalMM2:     area.SHIFTTotalAreaMM2(llcBytesTotal),
+		VirtualizedPIFMB:  float64(area.VirtualizedPIFLLCBytes(32768, cores)) / (1024 * 1024),
+		Cores:             cores,
+	}
+	r.PIF32KAggregateMM2 = r.PIF32KPerCoreMM2 * cores
+	if r.SHIFTTotalMM2 > 0 {
+		r.AreaRatio = r.PIF32KAggregateMM2 / r.SHIFTTotalMM2
+	}
+	return r
+}
+
+// String renders the storage table.
+func (r *StorageReport) String() string {
+	t := stats.NewTable("Quantity", "Value", "Paper")
+	t.AddRow("PIF_32K per-core storage", fmt.Sprintf("%.0f KB", r.PIF32KPerCoreKB), "213 KB")
+	t.AddRow("PIF_32K per-core area", fmt.Sprintf("%.2f mm^2", r.PIF32KPerCoreMM2), "0.9 mm^2")
+	t.AddRow(fmt.Sprintf("PIF_32K aggregate (%d cores)", r.Cores), fmt.Sprintf("%.1f mm^2", r.PIF32KAggregateMM2), "14.4 mm^2")
+	t.AddRow("PIF_2K per-core storage", fmt.Sprintf("%.1f KB", r.PIF2KPerCoreKB), "~13 KB")
+	t.AddRow("SHIFT history in LLC", fmt.Sprintf("%.0f KB (%d lines)", r.SHIFTHistoryKB, r.SHIFTHistoryLines), "171 KB (2,731 lines)")
+	t.AddRow("SHIFT index in LLC tags", fmt.Sprintf("%.0f KB", r.SHIFTIndexKB), "240 KB")
+	t.AddRow("SHIFT total area", fmt.Sprintf("%.2f mm^2", r.SHIFTTotalMM2), "0.96 mm^2")
+	t.AddRow("PIF_32K/SHIFT area ratio", fmt.Sprintf("%.1fx", r.AreaRatio), "~14x")
+	t.AddRow("Virtualized per-core PIF (Sec 6.2)", fmt.Sprintf("%.1f MB of LLC", r.VirtualizedPIFMB), "2.7 MB")
+	var b strings.Builder
+	b.WriteString("Storage and area budget (Sections 4.2, 5.1, 5.6, 6.2)\n")
+	b.WriteString(t.String())
+	return b.String()
+}
