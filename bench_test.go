@@ -2,6 +2,7 @@ package shift
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 )
 
@@ -83,6 +84,41 @@ func BenchmarkFigure7(b *testing.B) {
 		b.ReportMetric(fig.MeanCovered(DesignSHIFT), "shift-covered-%")
 		b.ReportMetric(fig.MeanCovered(DesignPIF32K), "pif32k-covered-%")
 		b.ReportMetric(fig.MeanCovered(DesignPIF2K), "pif2k-covered-%")
+	}
+}
+
+// BenchmarkFigure7Sweep measures the Figure 7 grid on the experiment
+// engine, serial versus a 4-worker pool. The engine merges results by
+// cell, so both variants produce identical numeric output (asserted
+// against the serial run); on hosts with >= 4 CPUs the parallel sweep
+// improves wall-clock by >= 2x (cells are uniform and CPU-bound).
+// Compare with: go test -bench BenchmarkFigure7Sweep -benchtime 3x
+func BenchmarkFigure7Sweep(b *testing.B) {
+	reference, err := RunFigure7(benchOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{
+		{"serial", 1},
+		{"parallel4", 4},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			o := benchOptions()
+			o.Parallelism = bc.par
+			for i := 0; i < b.N; i++ {
+				fig, err := RunFigure7(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !reflect.DeepEqual(fig, reference) {
+					b.Fatalf("parallelism %d changed the numeric output", bc.par)
+				}
+			}
+			b.ReportMetric(reference.MeanCovered(DesignSHIFT), "shift-covered-%")
+		})
 	}
 }
 

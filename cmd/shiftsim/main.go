@@ -7,6 +7,8 @@
 //	shiftsim -experiment all -quick           # everything, reduced scale
 //	shiftsim -experiment fig7 -workloads "OLTP Oracle,Web Search"
 //	shiftsim -experiment fig6 -sizes 1024,8192,32768
+//	shiftsim -experiment all -parallel 8      # 8 engine workers (same output)
+//	shiftsim -experiment fig8 -cache=false    # disable cell memoization
 //
 // Experiments: tableI, fig1, fig2, fig3, fig6, fig7, fig8, fig9, fig10,
 // pd, power, storage, sensitivity, generator, all.
@@ -34,6 +36,8 @@ func main() {
 		quick      = flag.Bool("quick", false, "reduced scale (~6x faster)")
 		sizes      = flag.String("sizes", "", "comma-separated aggregate history sizes for fig6")
 		coreType   = flag.String("core", "lean-ooo", "core type: fat-ooo, lean-ooo, lean-io")
+		parallel   = flag.Int("parallel", 0, "experiment-engine workers (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
+		useCache   = flag.Bool("cache", true, "memoize per-cell results across experiments (shared baselines are simulated once)")
 	)
 	flag.Parse()
 
@@ -49,6 +53,10 @@ func main() {
 		opts.MeasureRecords = *measure
 	}
 	opts.Seed = *seed
+	opts.Parallelism = *parallel
+	if *useCache {
+		opts.Cache = shift.NewResultCache()
+	}
 	if *workloads != "" {
 		for _, w := range strings.Split(*workloads, ",") {
 			opts.Workloads = append(opts.Workloads, strings.TrimSpace(w))
@@ -90,6 +98,10 @@ func main() {
 		fmt.Println(out)
 		fmt.Printf("[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	if hits, misses := opts.Cache.Stats(); hits+misses > 0 {
+		fmt.Printf("[cell cache: %d hits, %d misses, %d cells simulated]\n",
+			hits, misses, opts.Cache.Len())
+	}
 }
 
 // runOne dispatches one experiment by name.
@@ -100,8 +112,7 @@ func runOne(name string, opts shift.Options, fig6Sizes []int) (string, error) {
 	case "storage":
 		return shift.RunStorageReport().String(), nil
 	case "fig1":
-		f, err := shift.RunFigure1(opts)
-		return str(f), err
+		return str(shift.RunFigure1(opts))
 	case "fig2":
 		pd, err := shift.RunPerfDensity(opts)
 		if err != nil {
@@ -109,46 +120,38 @@ func runOne(name string, opts shift.Options, fig6Sizes []int) (string, error) {
 		}
 		return pd.Figure2(), nil
 	case "fig3":
-		f, err := shift.RunFigure3(opts)
-		return str(f), err
+		return str(shift.RunFigure3(opts))
 	case "fig6":
-		f, err := shift.RunFigure6(opts, fig6Sizes)
-		return str(f), err
+		return str(shift.RunFigure6(opts, fig6Sizes))
 	case "fig7":
-		f, err := shift.RunFigure7(opts)
-		return str(f), err
+		return str(shift.RunFigure7(opts))
 	case "fig8":
-		f, err := shift.RunFigure8(opts)
-		return str(f), err
+		return str(shift.RunFigure8(opts))
 	case "fig9":
-		f, err := shift.RunFigure9(opts)
-		return str(f), err
+		return str(shift.RunFigure9(opts))
 	case "fig10":
-		f, err := shift.RunFigure10(opts)
-		return str(f), err
+		return str(shift.RunFigure10(opts))
 	case "pd":
-		f, err := shift.RunPerfDensity(opts)
-		return str(f), err
+		return str(shift.RunPerfDensity(opts))
 	case "power":
-		f, err := shift.RunPowerStudy(opts)
-		return str(f), err
+		return str(shift.RunPowerStudy(opts))
 	case "sensitivity":
-		f, err := shift.RunSensitivity(opts)
-		return str(f), err
+		return str(shift.RunSensitivity(opts))
 	case "generator":
-		f, err := shift.RunGeneratorStudy(opts)
-		return str(f), err
+		return str(shift.RunGeneratorStudy(opts))
 	default:
 		return "", fmt.Errorf("unknown experiment %q", name)
 	}
 }
 
-// str formats a stringer unless the run failed.
-func str(v fmt.Stringer) string {
-	if v == nil {
-		return ""
+// str renders a driver's figure unless the run failed. The error must
+// be checked before calling String: on failure drivers return a typed
+// nil pointer, which a plain fmt.Stringer nil-check cannot detect.
+func str[T fmt.Stringer](v T, err error) (string, error) {
+	if err != nil {
+		return "", err
 	}
-	return v.String()
+	return v.String(), nil
 }
 
 func fail(err error) {

@@ -56,3 +56,15 @@ func TestRunOneUnknown(t *testing.T) {
 		t.Error("unknown experiment accepted")
 	}
 }
+
+// TestRunOneBadWorkload locks the failure path: a driver error must
+// come back as an error, not a panic from rendering a typed-nil figure.
+func TestRunOneBadWorkload(t *testing.T) {
+	o := tinyOpts()
+	o.Workloads = []string{"No Such Workload"}
+	for _, name := range []string{"fig1", "fig7", "fig8", "sensitivity"} {
+		if _, err := runOne(name, o, nil); err == nil {
+			t.Errorf("%s: bad workload accepted", name)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package shift
+
+import (
+	"fmt"
+
+	"shift/internal/exp"
+)
+
+// Cell is one independent unit of an experiment grid: a fully-specified
+// simulation (workload × design × config variant) that the engine can
+// execute in any order relative to every other cell.
+type Cell struct {
+	// Label names the cell in diagnostics ("workload/design/variant");
+	// it has no effect on execution or on result identity.
+	Label string
+	// Config is the simulation to run.
+	Config Config
+}
+
+// cell is a convenience constructor for grid builders.
+func cell(cfg Config, labelParts ...string) Cell {
+	label := cfg.Workload + "/" + cfg.Design.String()
+	for _, p := range labelParts {
+		label += "/" + p
+	}
+	return Cell{Label: label, Config: cfg}
+}
+
+// Engine executes experiment cells across a bounded worker pool and
+// merges results deterministically: results are keyed and ordered by
+// cell, never by completion time, so a parallel run is bit-identical to
+// a serial run for the same seed. An optional ResultCache memoizes
+// cells content-addressed by config hash, so repeated sweeps (and grids
+// sharing cells, e.g. the per-workload baselines common to most
+// figures) skip already-computed work.
+type Engine struct {
+	opts  exp.Options
+	cache *ResultCache
+}
+
+// NewEngine returns an engine with the given worker-pool bound
+// (0 = runtime.GOMAXPROCS, 1 = serial) and optional memoization cache
+// (nil = none).
+func NewEngine(parallelism int, cache *ResultCache) *Engine {
+	return &Engine{opts: exp.Options{Parallelism: parallelism}, cache: cache}
+}
+
+// engine builds the driver-facing engine from experiment options.
+func (o Options) engine() *Engine { return NewEngine(o.Parallelism, o.Cache) }
+
+// RunAll executes every cell and returns the results in cell order:
+// out[i] is cells[i]'s result. Duplicate configurations within the grid
+// are simulated once and fanned out; cached cells are not re-simulated.
+// On failure RunAll returns the error of the lowest-index failing cell,
+// annotated with its label.
+func (e *Engine) RunAll(cells []Cell) ([]RunResult, error) {
+	keys := make([]string, len(cells))
+	byKey := make(map[string]RunResult, len(cells))
+	seen := make(map[string]bool, len(cells))
+	var pending []int // first-occurrence index of each unique uncached config
+	for i := range cells {
+		k := cells[i].Config.Key()
+		keys[i] = k
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if r, ok := e.cache.lookup(k); ok {
+			byKey[k] = r
+			continue
+		}
+		pending = append(pending, i)
+	}
+
+	computed, err := exp.Map(e.opts, len(pending), func(j int) (RunResult, error) {
+		c := cells[pending[j]]
+		r, err := Run(c.Config)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("cell %s: %w", c.Label, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for j, r := range computed {
+		k := keys[pending[j]]
+		byKey[k] = r
+		e.cache.store(k, r)
+	}
+
+	out := make([]RunResult, len(cells))
+	for i := range cells {
+		out[i] = byKey[keys[i]]
+	}
+	return out, nil
+}
+
+// RunOne executes a single configuration through the engine (hitting
+// the memo cache when one is attached).
+func (e *Engine) RunOne(cfg Config) (RunResult, error) {
+	res, err := e.RunAll([]Cell{cell(cfg)})
+	if err != nil {
+		return RunResult{}, err
+	}
+	return res[0], nil
+}
+
+// run executes one configuration with the options' engine settings.
+func (o Options) run(cfg Config) (RunResult, error) {
+	return o.engine().RunOne(cfg)
+}
+
+// expOptions exposes the worker-pool bound to drivers whose cells are
+// not plain Configs (consolidation groups, SAB parameter mutations).
+func (o Options) expOptions() exp.Options {
+	return exp.Options{Parallelism: o.Parallelism}
+}

@@ -1,0 +1,208 @@
+package shift
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// engineTestOptions is a reduced Figure 7 scale: small enough for unit
+// tests, large enough that every cell does real simulation work.
+func engineTestOptions() Options {
+	o := QuickOptions()
+	o.Workloads = []string{"OLTP Oracle", "Web Search"}
+	o.Cores = 4
+	o.WarmupRecords = 6000
+	o.MeasureRecords = 6000
+	return o
+}
+
+// TestFigure7SerialParallelIdentical is the engine's key correctness
+// property: running Figure 7's grid serially and with an 8-worker pool
+// under the same seed must produce identical results structs — results
+// are merged by cell, never by completion order.
+func TestFigure7SerialParallelIdentical(t *testing.T) {
+	serial := engineTestOptions()
+	serial.Parallelism = 1
+	parallel := engineTestOptions()
+	parallel.Parallelism = 8
+
+	fs, err := RunFigure7(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := RunFigure7(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fs, fp) {
+		t.Errorf("parallel Figure 7 differs from serial:\nserial:   %+v\nparallel: %+v", fs, fp)
+	}
+}
+
+// TestEngineRunAllOrdersAndDedupes checks that RunAll returns results
+// in cell order and simulates duplicate configurations only once.
+func TestEngineRunAllOrdersAndDedupes(t *testing.T) {
+	o := engineTestOptions()
+	cfgA := o.config("Web Search", DesignBaseline)
+	cfgB := o.config("Web Search", DesignNextLine)
+	cache := NewResultCache()
+	e := NewEngine(4, cache)
+	res, err := e.RunAll([]Cell{cell(cfgA), cell(cfgB), cell(cfgA)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results, want 3", len(res))
+	}
+	if !reflect.DeepEqual(res[0], res[2]) {
+		t.Error("duplicate cells returned different results")
+	}
+	if res[0].Design != DesignBaseline.String() || res[1].Design != DesignNextLine.String() {
+		t.Errorf("results out of cell order: %s, %s", res[0].Design, res[1].Design)
+	}
+	if cache.Len() != 2 {
+		t.Errorf("cache holds %d cells, want 2 (duplicate simulated once)", cache.Len())
+	}
+}
+
+// TestEngineCacheSkipsRecomputation checks the memoization path: with a
+// shared cache, re-running the same grid performs no new simulations
+// and returns identical results.
+func TestEngineCacheSkipsRecomputation(t *testing.T) {
+	o := engineTestOptions()
+	o.Workloads = []string{"Web Search"}
+	o.Cache = NewResultCache()
+	first, err := RunFigure9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := o.Cache.Len()
+	if entries == 0 {
+		t.Fatal("cache is empty after a cached run")
+	}
+	second, err := RunFigure9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Cache.Len() != entries {
+		t.Errorf("second run grew the cache: %d -> %d", entries, o.Cache.Len())
+	}
+	hits, _ := o.Cache.Stats()
+	if hits == 0 {
+		t.Error("second run recorded no cache hits")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("cached rerun differs from the original")
+	}
+	// The cache also serves other experiments sharing cells: Figure 7
+	// reuses Figure 9's baseline.
+	if _, err := RunFigure7(o); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := o.Cache.Stats(); h <= hits {
+		t.Error("Figure 7 did not reuse the shared baseline cell")
+	}
+}
+
+// TestConfigKey pins down content addressing: identical configs share a
+// key, any field change produces a new one.
+func TestConfigKey(t *testing.T) {
+	base := DefaultRunConfig("Web Search", DesignSHIFT)
+	if base.Key() != DefaultRunConfig("Web Search", DesignSHIFT).Key() {
+		t.Error("identical configs got different keys")
+	}
+	seen := map[string]string{base.Key(): "base"}
+	mutations := map[string]Config{}
+	for name, mut := range map[string]func(*Config){
+		"workload":    func(c *Config) { c.Workload = "OLTP Oracle" },
+		"design":      func(c *Config) { c.Design = DesignPIF32K },
+		"core type":   func(c *Config) { c.CoreType = LeanIO },
+		"cores":       func(c *Config) { c.Cores = 8 },
+		"hist":        func(c *Config) { c.HistEntries = 2048 },
+		"prediction":  func(c *Config) { c.PredictionOnly = true },
+		"commonality": func(c *Config) { c.CommonalityMode = true },
+		"elim":        func(c *Config) { c.ElimProb = 0.5 },
+		"warmup":      func(c *Config) { c.WarmupRecords = 1000 },
+		"measure":     func(c *Config) { c.MeasureRecords = 1000 },
+		"seed":        func(c *Config) { c.Seed = 2 },
+	} {
+		c := base
+		mut(&c)
+		mutations[name] = c
+	}
+	for name, c := range mutations {
+		k := c.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("mutation %q collides with %q", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+// TestEngineErrorDeterminism checks that a failing cell surfaces the
+// same error regardless of parallelism, annotated with its cell label.
+func TestEngineErrorDeterminism(t *testing.T) {
+	o := engineTestOptions()
+	bad := o.config("No Such Workload", DesignSHIFT)
+	cells := []Cell{
+		cell(o.config("Web Search", DesignBaseline)),
+		cell(bad),
+		cell(o.config("Web Search", DesignNextLine)),
+	}
+	serialErr := func() error {
+		_, err := NewEngine(1, nil).RunAll(cells)
+		return err
+	}()
+	parallelErr := func() error {
+		_, err := NewEngine(8, nil).RunAll(cells)
+		return err
+	}()
+	if serialErr == nil || parallelErr == nil {
+		t.Fatal("bad workload accepted")
+	}
+	if serialErr.Error() != parallelErr.Error() {
+		t.Errorf("error differs by parallelism:\nserial:   %v\nparallel: %v", serialErr, parallelErr)
+	}
+}
+
+// TestFigure7ParallelSpeedup measures the acceptance property on
+// multi-core hosts: the Figure 7 sweep at Parallelism 4 must beat the
+// serial sweep by >= 2x wall-clock while producing identical output.
+// The simulator is CPU-bound, so the property is only observable with
+// enough hardware parallelism; single- and dual-core hosts skip.
+func TestFigure7ParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement is not short")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for a 2x wall-clock bound, have %d", runtime.NumCPU())
+	}
+	serial := engineTestOptions()
+	serial.Parallelism = 1
+	parallel := engineTestOptions()
+	parallel.Parallelism = 4
+
+	t0 := time.Now()
+	fs, err := RunFigure7(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialDur := time.Since(t0)
+	t0 = time.Now()
+	fp, err := RunFigure7(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelDur := time.Since(t0)
+
+	if !reflect.DeepEqual(fs, fp) {
+		t.Error("parallel output differs from serial")
+	}
+	speedup := float64(serialDur) / float64(parallelDur)
+	t.Logf("serial %v, parallel(4) %v, speedup %.2fx", serialDur, parallelDur, speedup)
+	if speedup < 2.0 {
+		t.Errorf("parallel speedup %.2fx < 2x (serial %v, parallel %v)", speedup, serialDur, parallelDur)
+	}
+}

@@ -35,24 +35,36 @@ func RunFigure1(o Options) (*Figure1, error) {
 		Speedup:   make(map[string][]float64),
 		Workloads: o.Workloads,
 	}
+	// Grid: per workload, the baseline followed by one cell per nonzero
+	// elimination fraction.
+	var cells []Cell
 	for _, w := range o.Workloads {
-		base, err := o.runBaseline(w)
-		if err != nil {
-			return nil, err
+		cells = append(cells, cell(o.config(w, DesignBaseline)))
+		for _, f := range fig.Fractions {
+			if f == 0 {
+				continue
+			}
+			cfg := o.config(w, DesignBaseline)
+			cfg.ElimProb = float64(f) / 100
+			cells = append(cells, cell(cfg, fmt.Sprintf("elim=%d%%", f)))
 		}
+	}
+	results, err := o.engine().RunAll(cells)
+	if err != nil {
+		return nil, err
+	}
+	stride := len(fig.Fractions) // 1 baseline + (len-1) nonzero points
+	for wi, w := range o.Workloads {
+		base := results[wi*stride]
 		row := make([]float64, len(fig.Fractions))
+		next := wi*stride + 1
 		for i, f := range fig.Fractions {
 			if f == 0 {
 				row[i] = 1.0
 				continue
 			}
-			cfg := o.config(w, DesignBaseline)
-			cfg.ElimProb = float64(f) / 100
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = res.Throughput / base.Throughput
+			row[i] = results[next].Throughput / base.Throughput
+			next++
 		}
 		fig.Speedup[w] = row
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"shift/internal/core"
+	"shift/internal/exp"
 	"shift/internal/pif"
 	"shift/internal/sim"
 	"shift/internal/stats"
@@ -118,15 +119,19 @@ func RunFigure10(o Options) (*Figure10, error) {
 		return out, nil
 	}
 
-	base, err := run(DesignBaseline)
+	// Consolidated runs are not expressible as a public Config (they
+	// carry core groups), so they use the engine's generic worker pool
+	// directly: one cell per design point, baseline first.
+	points := append([]Design{DesignBaseline}, designs...)
+	perDesign, err := exp.Map(o.expOptions(), len(points), func(i int) (map[string]float64, error) {
+		return run(points[i])
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, d := range designs {
-		thr, err := run(d)
-		if err != nil {
-			return nil, err
-		}
+	base := perDesign[0]
+	for di, d := range designs {
+		thr := perDesign[1+di]
 		var sp []float64
 		for _, n := range names {
 			v := thr[n] / base[n]

@@ -26,16 +26,20 @@ func RunFigure3(o Options) (*Figure3, error) {
 	if err != nil {
 		return nil, err
 	}
-	fig := &Figure3{Commonality: make(map[string]float64), Workloads: o.Workloads}
-	for _, w := range o.Workloads {
+	cells := make([]Cell, len(o.Workloads))
+	for i, w := range o.Workloads {
 		cfg := o.config(w, DesignZeroLatSHIFT)
 		cfg.PredictionOnly = true
 		cfg.CommonalityMode = true
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		fig.Commonality[w] = res.AccessCoverage * 100
+		cells[i] = cell(cfg, "commonality")
+	}
+	results, err := o.engine().RunAll(cells)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure3{Commonality: make(map[string]float64), Workloads: o.Workloads}
+	for i, w := range o.Workloads {
+		fig.Commonality[w] = results[i].AccessCoverage * 100
 	}
 	return fig, nil
 }

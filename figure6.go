@@ -38,21 +38,17 @@ func RunFigure6(o Options, sizes []int) (*Figure6, error) {
 	if len(sizes) == 0 {
 		sizes = DefaultFigure6Sizes()
 	}
-	fig := &Figure6{Sizes: sizes, Workloads: o.Workloads}
+	// Grid: per (aggregate size, workload), a SHIFT cell with the full
+	// aggregate capacity and a PIF cell with the aggregate divided
+	// across private per-core histories.
+	var cells []Cell
 	for _, aggregate := range sizes {
-		var shiftCov, pifCov []float64
 		for _, w := range o.Workloads {
-			// SHIFT: one shared history with the full aggregate capacity.
 			cfg := o.config(w, DesignZeroLatSHIFT)
 			cfg.PredictionOnly = true
 			cfg.HistEntries = aggregate
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			shiftCov = append(shiftCov, res.MissCoverage*100)
+			cells = append(cells, cell(cfg, "agg="+fmtSize(aggregate)))
 
-			// PIF: the aggregate divided across private per-core histories.
 			perCore := aggregate / o.Cores
 			if perCore < 16 {
 				perCore = 16
@@ -60,11 +56,22 @@ func RunFigure6(o Options, sizes []int) (*Figure6, error) {
 			cfg = o.config(w, DesignPIF32K)
 			cfg.PredictionOnly = true
 			cfg.HistEntries = perCore
-			res, err = Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			pifCov = append(pifCov, res.MissCoverage*100)
+			cells = append(cells, cell(cfg, "agg="+fmtSize(aggregate)))
+		}
+	}
+	results, err := o.engine().RunAll(cells)
+	if err != nil {
+		return nil, err
+	}
+
+	fig := &Figure6{Sizes: sizes, Workloads: o.Workloads}
+	i := 0
+	for range sizes {
+		var shiftCov, pifCov []float64
+		for range o.Workloads {
+			shiftCov = append(shiftCov, results[i].MissCoverage*100)
+			pifCov = append(pifCov, results[i+1].MissCoverage*100)
+			i += 2
 		}
 		fig.SHIFT = append(fig.SHIFT, stats.Mean(shiftCov))
 		fig.PIF = append(fig.PIF, stats.Mean(pifCov))

@@ -30,25 +30,33 @@ type Figure7 struct {
 }
 
 // RunFigure7 regenerates Figure 7 with real prefetching (cache
-// perturbation included).
+// perturbation included). The grid — per workload, a baseline for the
+// normalization denominator plus the three compared designs — runs on
+// the experiment engine.
 func RunFigure7(o Options) (*Figure7, error) {
 	o, err := o.normalize()
 	if err != nil {
 		return nil, err
 	}
 	designs := []Design{DesignPIF2K, DesignPIF32K, DesignSHIFT}
-	fig := &Figure7{Workloads: o.Workloads, Designs: designs}
+	var cells []Cell
 	for _, w := range o.Workloads {
-		base, err := o.runBaseline(w)
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells, cell(o.config(w, DesignBaseline)))
 		for _, d := range designs {
-			res, err := Run(o.config(w, d))
-			if err != nil {
-				return nil, err
-			}
-			bm := float64(base.Misses)
+			cells = append(cells, cell(o.config(w, d)))
+		}
+	}
+	results, err := o.engine().RunAll(cells)
+	if err != nil {
+		return nil, err
+	}
+
+	fig := &Figure7{Workloads: o.Workloads, Designs: designs}
+	stride := 1 + len(designs)
+	for wi, w := range o.Workloads {
+		bm := float64(results[wi*stride].Misses)
+		for di, d := range designs {
+			res := results[wi*stride+1+di]
 			row := CoverageRow{
 				Workload:      w,
 				Design:        d.String(),

@@ -25,13 +25,23 @@ func RunFigure8(o Options) (*Figure8, error) {
 	return runSpeedupComparison(o, FigureDesigns())
 }
 
-// runSpeedupComparison runs the Figure 8 comparison for a design set
-// (shared with the sensitivity and performance-density studies).
-func runSpeedupComparison(o Options, designs []Design) (*Figure8, error) {
-	o, err := o.normalize()
-	if err != nil {
-		return nil, err
+// speedupCells builds the comparison grid: per workload, the baseline
+// followed by each compared design. The cell layout is consumed by
+// speedupFromResults with stride 1+len(designs).
+func speedupCells(o Options, designs []Design) []Cell {
+	var cells []Cell
+	for _, w := range o.Workloads {
+		cells = append(cells, cell(o.config(w, DesignBaseline)))
+		for _, d := range designs {
+			cells = append(cells, cell(o.config(w, d)))
+		}
 	}
+	return cells
+}
+
+// speedupFromResults assembles a Figure8 from a speedupCells grid's
+// results (in cell order).
+func speedupFromResults(o Options, designs []Design, results []RunResult) *Figure8 {
 	fig := &Figure8{
 		Speedup:   make(map[string]map[string]float64),
 		Geo:       make(map[string]float64),
@@ -39,18 +49,12 @@ func runSpeedupComparison(o Options, designs []Design) (*Figure8, error) {
 		Designs:   designs,
 	}
 	logs := make(map[string][]float64)
-	for _, w := range o.Workloads {
-		base, err := o.runBaseline(w)
-		if err != nil {
-			return nil, err
-		}
+	stride := 1 + len(designs)
+	for wi, w := range o.Workloads {
+		base := results[wi*stride]
 		fig.Speedup[w] = make(map[string]float64)
-		for _, d := range designs {
-			res, err := Run(o.config(w, d))
-			if err != nil {
-				return nil, err
-			}
-			sp := res.Throughput / base.Throughput
+		for di, d := range designs {
+			sp := results[wi*stride+1+di].Throughput / base.Throughput
 			fig.Speedup[w][d.String()] = sp
 			logs[d.String()] = append(logs[d.String()], sp)
 		}
@@ -58,7 +62,22 @@ func runSpeedupComparison(o Options, designs []Design) (*Figure8, error) {
 	for _, d := range designs {
 		fig.Geo[d.String()] = stats.GeoMean(logs[d.String()])
 	}
-	return fig, nil
+	return fig
+}
+
+// runSpeedupComparison runs the Figure 8 comparison for a design set
+// (shared with the sensitivity and performance-density studies) on the
+// experiment engine.
+func runSpeedupComparison(o Options, designs []Design) (*Figure8, error) {
+	o, err := o.normalize()
+	if err != nil {
+		return nil, err
+	}
+	results, err := o.engine().RunAll(speedupCells(o, designs))
+	if err != nil {
+		return nil, err
+	}
+	return speedupFromResults(o, designs, results), nil
 }
 
 // SHIFTRetainsPIFBenefit returns SHIFT's geometric-mean speedup benefit

@@ -39,16 +39,17 @@ func RunFigure9(o Options) (*Figure9, error) {
 	if err != nil {
 		return nil, err
 	}
-	fig := &Figure9{Workloads: o.Workloads}
+	var cells []Cell
 	for _, w := range o.Workloads {
-		base, err := o.runBaseline(w)
-		if err != nil {
-			return nil, err
-		}
-		res, err := Run(o.config(w, DesignSHIFT))
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells, cell(o.config(w, DesignBaseline)), cell(o.config(w, DesignSHIFT)))
+	}
+	results, err := o.engine().RunAll(cells)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure9{Workloads: o.Workloads}
+	for wi, w := range o.Workloads {
+		base, res := results[2*wi], results[2*wi+1]
 		denom := float64(base.Traffic.Demand())
 		fig.Rows = append(fig.Rows, TrafficRow{
 			Workload:    w,

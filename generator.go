@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"shift/internal/core"
+	"shift/internal/exp"
 	"shift/internal/sim"
 	"shift/internal/stats"
 	"shift/internal/workload"
@@ -47,16 +48,19 @@ func RunGeneratorStudy(o Options) (*GeneratorStudy, error) {
 		return nil, err
 	}
 	study := &GeneratorStudy{Workload: wname}
-	gens := []int{0, o.Cores / 3, o.Cores / 2, o.Cores - 1}
 	seen := map[int]bool{}
-	var speedups []float64
-	for _, g := range gens {
-		if seen[g] {
-			continue
+	var gens []int
+	for _, g := range []int{0, o.Cores / 3, o.Cores / 2, o.Cores - 1} {
+		if !seen[g] {
+			seen[g] = true
+			gens = append(gens, g)
 		}
-		seen[g] = true
+	}
+	// Generator choice is a sim-level knob, so the study runs its cells
+	// on the engine's generic worker pool.
+	points, err := exp.Map(o.expOptions(), len(gens), func(i int) (GeneratorPoint, error) {
 		shc := core.DefaultConfig()
-		shc.GeneratorCore = g
+		shc.GeneratorCore = gens[i]
 		sc := sim.DefaultConfig()
 		sc.Cores = o.Cores
 		sc.CoreType = o.CoreType.internal()
@@ -67,15 +71,21 @@ func RunGeneratorStudy(o Options) (*GeneratorStudy, error) {
 			WarmupRecords: o.WarmupRecords, MeasureRecords: o.MeasureRecords,
 		})
 		if err != nil {
-			return nil, err
+			return GeneratorPoint{}, err
 		}
-		sp := res.Throughput / base.Throughput
-		study.Points = append(study.Points, GeneratorPoint{
-			GeneratorCore: g,
-			Speedup:       sp,
+		return GeneratorPoint{
+			GeneratorCore: gens[i],
+			Speedup:       res.Throughput / base.Throughput,
 			Covered:       1 - float64(res.Fetch.Misses)/float64(base.Misses),
-		})
-		speedups = append(speedups, sp)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	study.Points = points
+	speedups := make([]float64, len(points))
+	for i, p := range points {
+		speedups[i] = p.Speedup
 	}
 	if m := stats.Mean(speedups); m > 0 {
 		study.Spread = (stats.Max(speedups) - stats.Min(speedups)) / m

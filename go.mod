@@ -1,0 +1,3 @@
+module shift
+
+go 1.22

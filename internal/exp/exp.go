@@ -1,0 +1,106 @@
+// Package exp is the parallel experiment engine underneath the public
+// experiment drivers: it evaluates a grid of independent cells across a
+// bounded worker pool and merges the results deterministically.
+//
+// The engine's contract is that parallel execution is observationally
+// identical to serial execution. Results are stored by cell index, never
+// by completion order, and when several cells fail the error of the
+// lowest-index failing cell is returned — exactly the error a serial
+// loop would have stopped on. Callers may therefore flip Parallelism
+// between 1 and N without changing a single output bit.
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures one engine invocation.
+type Options struct {
+	// Parallelism bounds the worker pool: 1 runs cells serially on the
+	// calling goroutine, N>1 uses N workers, and <=0 defaults to
+	// runtime.GOMAXPROCS(0).
+	Parallelism int
+}
+
+// workers resolves the pool size for n cells.
+func (o Options) workers(n int) int {
+	p := o.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Map evaluates fn(0..n-1) across the worker pool and returns the
+// results ordered by index: out[i] is fn(i)'s value. If any cell fails,
+// Map returns the error of the lowest failing index (the serial-loop
+// error) and discards the partial results. fn must be safe for
+// concurrent invocation when Parallelism != 1.
+func Map[T any](o Options, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	if o.workers(n) == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next   atomic.Int64 // work-stealing cell cursor
+		errIdx atomic.Int64 // lowest failing index seen so far
+		wg     sync.WaitGroup
+	)
+	errIdx.Store(int64(n))
+	errs := make([]error, n)
+	for w := o.workers(n); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				// Cells above the lowest known failure cannot change the
+				// outcome; skipping them mirrors a serial loop's early
+				// exit. The minimal failing index itself is never above
+				// another failure, so it is always evaluated.
+				if int64(i) > errIdx.Load() {
+					continue
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					for {
+						cur := errIdx.Load()
+						if int64(i) >= cur || errIdx.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if idx := errIdx.Load(); idx < int64(n) {
+		return nil, errs[idx]
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// square is a deterministic cell function.
+func square(i int) (int, error) { return i * i, nil }
+
+func TestMapOrdersByIndex(t *testing.T) {
+	for _, par := range []int{0, 1, 2, 7, 64} {
+		got, err := Map(Options{Parallelism: par}, 100, square)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("par=%d: out[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapParallelMatchesSerial(t *testing.T) {
+	fn := func(i int) (string, error) { return fmt.Sprintf("cell-%d-%d", i, i%7), nil }
+	serial, err := Map(Options{Parallelism: 1}, 257, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Map(Options{Parallelism: 16}, 257, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("parallel results differ from serial")
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(Options{}, 0, square)
+	if err != nil || got != nil {
+		t.Errorf("Map(0) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+// TestMapLowestErrorWins checks the determinism contract for failures:
+// whatever the parallelism, the returned error is the one a serial loop
+// would have stopped on.
+func TestMapLowestErrorWins(t *testing.T) {
+	fail := map[int]bool{5: true, 23: true, 60: true}
+	fn := func(i int) (int, error) {
+		if fail[i] {
+			return 0, fmt.Errorf("cell %d failed", i)
+		}
+		return i, nil
+	}
+	for _, par := range []int{1, 4, 32} {
+		_, err := Map(Options{Parallelism: par}, 64, fn)
+		if err == nil || err.Error() != "cell 5 failed" {
+			t.Errorf("par=%d: err = %v, want cell 5 failed", par, err)
+		}
+	}
+}
+
+// TestMapBoundedConcurrency verifies the pool never exceeds Parallelism
+// simultaneous cells.
+func TestMapBoundedConcurrency(t *testing.T) {
+	const par = 3
+	var inFlight, peak atomic.Int64
+	_, err := Map(Options{Parallelism: par}, 200, func(i int) (int, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		defer inFlight.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > par {
+		t.Errorf("observed %d concurrent cells, bound is %d", p, par)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	cases := []struct{ par, n, want int }{
+		{1, 10, 1},
+		{4, 10, 4},
+		{4, 2, 2},
+		{-1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := (Options{Parallelism: c.par}).workers(c.n); got != c.want {
+			t.Errorf("workers(par=%d, n=%d) = %d, want %d", c.par, c.n, got, c.want)
+		}
+	}
+	if got := (Options{}).workers(1000); got < 1 {
+		t.Errorf("default workers = %d", got)
+	}
+}

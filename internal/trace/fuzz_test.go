@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// encodeSeed builds a valid trace byte stream for the fuzz corpus.
+func encodeSeed(t *testing.F, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc, err := NewEncoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := enc.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecoder feeds arbitrary byte streams to the trace decoder. The
+// contract under fuzzing is purely defensive: malformed input must
+// surface as an error from NewDecoder or Next, never as a panic, and
+// every record returned without error must validate.
+func FuzzDecoder(f *testing.F) {
+	valid := encodeSeed(f, []Record{
+		{Block: 0x100, Instrs: 7, Kind: KindSeq},
+		{Block: 0x101, Instrs: 3, Kind: KindCall},
+		{Block: 0x400, Instrs: 16, Kind: KindReturn},
+		{Block: 0x101, Instrs: 1, Kind: KindTrap},
+	})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])                                       // truncated final record
+	f.Add(valid[:5])                                                  // header only
+	f.Add([]byte{})                                                   // empty stream
+	f.Add([]byte("SHFT"))                                             // magic without version
+	f.Add([]byte("SHFT\x02\x00\x01\x00"))                             // unsupported version
+	f.Add([]byte("JUNKJUNKJUNK"))                                     // wrong magic
+	f.Add([]byte("SHFT\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01")) // huge delta
+	f.Add([]byte("SHFT\x01\x00\x00\x00"))                             // zero-instruction record
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := NewDecoder(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for {
+			rec, err := dec.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if verr := rec.Validate(); verr != nil {
+				t.Fatalf("decoder returned invalid record %+v: %v", rec, verr)
+			}
+		}
+	})
+}
+
+// TestDecoderMalformedInputs pins the defensive behaviour down outside
+// the fuzzer: each malformed stream returns a typed error, no panic.
+func TestDecoderMalformedInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short magic", []byte("SH")},
+		{"bad magic", []byte("NOPE\x01")},
+		{"bad version", []byte("SHFT\x09")},
+		{"truncated record", []byte("SHFT\x01\x80")},
+		{"zero instrs", []byte("SHFT\x01\x00\x00\x00")},
+		{"bad kind", []byte("SHFT\x01\x02\x01\x63")},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			dec, err := NewDecoder(bytes.NewReader(c.data))
+			if err != nil {
+				return
+			}
+			for {
+				_, err := dec.Next()
+				if err == io.EOF {
+					t.Fatal("malformed stream decoded cleanly")
+				}
+				if err != nil {
+					return
+				}
+			}
+		})
+	}
+}

@@ -20,6 +20,16 @@ type Options struct {
 	WarmupRecords, MeasureRecords int64
 	// Seed drives simulator randomness.
 	Seed int64
+	// Parallelism bounds the experiment engine's worker pool:
+	// 0 = runtime.GOMAXPROCS(0), 1 = serial, N>1 = N workers. Results
+	// are bit-identical regardless of the setting (cells are merged by
+	// key, never by completion order).
+	Parallelism int
+	// Cache, when non-nil, memoizes per-cell results content-addressed
+	// by Config hash, so repeated sweeps — and experiments sharing
+	// cells, such as the per-workload baselines — skip already-computed
+	// simulations. Memoization never changes results.
+	Cache *ResultCache
 }
 
 // DefaultOptions returns the reference experiment scale (a full figure
@@ -81,7 +91,8 @@ func (o Options) config(workloadName string, d Design) Config {
 	}
 }
 
-// runBaseline runs the no-prefetch system for normalization.
+// runBaseline runs the no-prefetch system for normalization (through
+// the engine, so a shared Cache reuses baselines across experiments).
 func (o Options) runBaseline(workloadName string) (RunResult, error) {
-	return Run(o.config(workloadName, DesignBaseline))
+	return o.run(o.config(workloadName, DesignBaseline))
 }

@@ -53,21 +53,33 @@ func prefetcherAreaPerCore(d Design, cores int) float64 {
 
 // RunPerfDensity regenerates the PD study: for each core type it measures
 // the geometric-mean speedup of each design over the no-prefetch baseline
-// and combines it with the analytical area model.
+// and combines it with the analytical area model. The speedup grids of
+// all three core types are submitted to the engine as one combined grid,
+// so every (core type × workload × design) cell runs on the worker pool.
 func RunPerfDensity(o Options) (*PerfDensity, error) {
 	o, err := o.normalize()
 	if err != nil {
 		return nil, err
 	}
 	designs := []Design{DesignPIF2K, DesignPIF32K, DesignSHIFT}
-	pd := &PerfDensity{}
-	for _, ct := range AllCoreTypes() {
+	coreTypes := AllCoreTypes()
+	var cells []Cell
+	perType := make([]Options, len(coreTypes))
+	for i, ct := range coreTypes {
 		oc := o
 		oc.CoreType = ct
-		fig, err := runSpeedupComparison(oc, designs)
-		if err != nil {
-			return nil, err
-		}
+		perType[i] = oc
+		cells = append(cells, speedupCells(oc, designs)...)
+	}
+	results, err := o.engine().RunAll(cells)
+	if err != nil {
+		return nil, err
+	}
+
+	pd := &PerfDensity{}
+	stride := len(o.Workloads) * (1 + len(designs))
+	for i, ct := range coreTypes {
+		fig := speedupFromResults(perType[i], designs, results[i*stride:(i+1)*stride])
 		for _, d := range designs {
 			pref := prefetcherAreaPerCore(d, o.Cores)
 			dp := area.Evaluate(d.String(), ct.internal(), pref, fig.Geo[d.String()])

@@ -41,13 +41,18 @@ func RunPowerStudy(o Options) (*PowerStudy, error) {
 	if err != nil {
 		return nil, err
 	}
+	cells := make([]Cell, len(o.Workloads))
+	for i, w := range o.Workloads {
+		cells[i] = cell(o.config(w, DesignSHIFT))
+	}
+	results, err := o.engine().RunAll(cells)
+	if err != nil {
+		return nil, err
+	}
 	model := area.DefaultEnergyModel()
 	study := &PowerStudy{}
-	for _, w := range o.Workloads {
-		res, err := Run(o.config(w, DesignSHIFT))
-		if err != nil {
-			return nil, err
-		}
+	for i, w := range o.Workloads {
+		res := results[i]
 		mw := model.PowerMW(area.Activity{
 			HistReads:       res.Traffic.HistRead,
 			HistReadHops:    res.Traffic.HistReadHops,

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"shift/internal/core"
+	"shift/internal/exp"
 	"shift/internal/history"
 	"shift/internal/sim"
 	"shift/internal/stats"
@@ -72,36 +73,33 @@ func RunSensitivity(o Options) (*Sensitivity, error) {
 		}, nil
 	}
 
-	s := &Sensitivity{Workload: wname}
+	// SAB mutations are not expressible as a public Config, so the sweep
+	// runs its point list on the engine's generic worker pool.
+	type sweepPoint struct {
+		param string
+		value int
+		mut   func(*history.SABConfig)
+	}
+	var points []sweepPoint
 	for _, span := range []int{4, 8, 16} {
-		p, err := runPoint("region span", span, func(c *history.SABConfig) { c.Span = span })
-		if err != nil {
-			return nil, err
-		}
-		s.Points = append(s.Points, p)
+		points = append(points, sweepPoint{"region span", span, func(c *history.SABConfig) { c.Span = span }})
 	}
 	for _, la := range []int{1, 3, 5, 8} {
-		p, err := runPoint("lookahead", la, func(c *history.SABConfig) { c.Lookahead = la })
-		if err != nil {
-			return nil, err
-		}
-		s.Points = append(s.Points, p)
+		points = append(points, sweepPoint{"lookahead", la, func(c *history.SABConfig) { c.Lookahead = la }})
 	}
 	for _, cap := range []int{6, 12, 24} {
-		p, err := runPoint("SAB capacity", cap, func(c *history.SABConfig) { c.Capacity = cap })
-		if err != nil {
-			return nil, err
-		}
-		s.Points = append(s.Points, p)
+		points = append(points, sweepPoint{"SAB capacity", cap, func(c *history.SABConfig) { c.Capacity = cap }})
 	}
 	for _, streams := range []int{1, 2, 4, 8} {
-		p, err := runPoint("streams", streams, func(c *history.SABConfig) { c.Streams = streams })
-		if err != nil {
-			return nil, err
-		}
-		s.Points = append(s.Points, p)
+		points = append(points, sweepPoint{"streams", streams, func(c *history.SABConfig) { c.Streams = streams }})
 	}
-	return s, nil
+	results, err := exp.Map(o.expOptions(), len(points), func(i int) (SensitivityPoint, error) {
+		return runPoint(points[i].param, points[i].value, points[i].mut)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Sensitivity{Workload: wname, Points: results}, nil
 }
 
 // Best returns the best value found for a parameter.

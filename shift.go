@@ -20,6 +20,32 @@
 //
 //	fig8, err := shift.RunFigure8(shift.DefaultOptions())
 //	fmt.Println(fig8)
+//
+// # Experiment engine
+//
+// Every experiment driver decomposes its figure into independent cells
+// (workload × design × config variant) and submits them to an
+// experiment engine that executes the grid across a bounded worker
+// pool and merges results deterministically: results are keyed and
+// ordered by cell, never by completion time, so a parallel run is
+// bit-identical to a serial run for the same seed. Options.Parallelism
+// bounds the pool (0 = GOMAXPROCS, 1 = serial) and Options.Cache
+// attaches a ResultCache that memoizes cells content-addressed by
+// Config hash, letting repeated sweeps — and figures that share cells,
+// like the per-workload baselines — skip already-computed simulations:
+//
+//	o := shift.DefaultOptions()
+//	o.Parallelism = 8                // 8 engine workers, same output
+//	o.Cache = shift.NewResultCache() // reuse cells across figures
+//	fig7, err := shift.RunFigure7(o)
+//	fig8, err := shift.RunFigure8(o) // baselines served from cache
+//
+// Custom grids go through the engine directly:
+//
+//	e := shift.NewEngine(4, shift.NewResultCache())
+//	results, err := e.RunAll(cells) // results[i] belongs to cells[i]
+//
+// cmd/shiftsim exposes the engine as -parallel and -cache flags.
 package shift
 
 import (

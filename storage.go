@@ -1,13 +1,98 @@
 package shift
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strings"
+	"sync"
 
 	"shift/internal/area"
 	"shift/internal/core"
 	"shift/internal/stats"
 )
+
+// This file holds the two storage concerns of the package: the
+// analytical storage-cost report of the paper's Sections 4.2/5.1/5.6/
+// 6.2 (StorageReport, below), and the experiment engine's result
+// storage — content-addressed memoization of simulation results
+// (Config.Key, ResultCache), consumed by Engine.RunAll in engine.go.
+
+// Key returns a stable content hash of the configuration. Two Configs
+// share a key iff they describe the same simulation, so the key
+// content-addresses memoized results: a cached RunResult under this key
+// is bit-identical to re-running the cell (the simulator is a pure
+// function of its Config).
+func (c Config) Key() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("v1|%q|%d|%d|%d|%d|%t|%t|%g|%d|%d|%d",
+		c.Workload, c.Design, c.CoreType, c.Cores, c.HistEntries,
+		c.PredictionOnly, c.CommonalityMode, c.ElimProb,
+		c.WarmupRecords, c.MeasureRecords, c.Seed)))
+	return hex.EncodeToString(h[:16])
+}
+
+// ResultCache memoizes simulation results content-addressed by Config
+// key, so repeated sweeps skip already-computed cells. It is safe for
+// concurrent use by the engine's workers; a nil *ResultCache is a valid
+// no-op cache.
+type ResultCache struct {
+	mu           sync.Mutex
+	m            map[string]RunResult
+	hits, misses int64
+}
+
+// NewResultCache returns an empty cache. Share one cache across
+// experiment runs (Options.Cache) to reuse cells between figures — most
+// figures re-run the same per-workload baselines.
+func NewResultCache() *ResultCache {
+	return &ResultCache{m: make(map[string]RunResult)}
+}
+
+// lookup returns the memoized result for key, if any.
+func (c *ResultCache) lookup(key string) (RunResult, bool) {
+	if c == nil {
+		return RunResult{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return r, ok
+}
+
+// store memoizes a result under key.
+func (c *ResultCache) store(key string, r RunResult) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = r
+}
+
+// Len returns the number of memoized cells.
+func (c *ResultCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Stats returns the lookup hit/miss counts since creation.
+func (c *ResultCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
 
 // StorageReport reproduces the storage-cost arithmetic of Sections 4.2,
 // 5.1, 5.6, and 6.2 — the numbers behind the paper's "14x less storage
