@@ -3,6 +3,7 @@ package shift
 import (
 	"fmt"
 	"reflect"
+	"runtime"
 	"testing"
 )
 
@@ -236,20 +237,37 @@ func benchSensitivity(b *testing.B, param string) {
 
 // BenchmarkSimulatorThroughput measures raw simulation speed
 // (records simulated per second on the 16-core Table I system).
+//
+// It also reports allocs/record, the hot-path allocation gate: a run
+// allocates only during construction and warmup growth (workload build,
+// system setup, buffer sizing), so amortized over the ~400k simulated
+// records the figure must stay well under the one-alloc-per-record
+// level the steady-state test (internal/sim TestStepZeroAllocSteadyState*)
+// pins to exactly zero. Regressions that reintroduce per-record churn
+// show up here as a jump of 1.0 or more.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	cfg := DefaultRunConfig("Web Search", DesignSHIFT)
 	cfg.WarmupRecords = 5000
 	cfg.MeasureRecords = 20000
+	b.ReportAllocs()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	b.ResetTimer()
-	var total int64
+	var total, simulated int64
 	for i := 0; i < b.N; i++ {
 		res, err := Run(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		total += res.Records
+		simulated += (cfg.WarmupRecords + cfg.MeasureRecords) * int64(cfg.Cores)
 	}
+	b.StopTimer()
+	runtime.ReadMemStats(&m1)
 	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "records/s")
+	if simulated > 0 {
+		b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/float64(simulated), "allocs/record")
+	}
 }
 
 // Example of regenerating a figure programmatically; also exercises the

@@ -1,0 +1,255 @@
+// Command benchgate turns `go test -bench` output into a committed,
+// machine-readable benchmark record (BENCH_2.json) and gates throughput
+// regressions against it.
+//
+// Two modes:
+//
+//	# Record: parse bench output (possibly -count>1) and write the JSON
+//	# record, embedding the pre-optimization baseline for the speedup.
+//	go test -run '^$' -bench 'SimulatorThroughput|Figure7Sweep' -benchtime 3x -count 5 . > bench/current.txt
+//	go run ./cmd/benchgate -new bench/current.txt -baseline-records 812645 -out BENCH_2.json
+//
+//	# Gate against another run on the SAME host (what CI does: the PR's
+//	# base commit and head are benchmarked back to back on one runner,
+//	# so hardware differences cancel out):
+//	go run ./cmd/benchgate -new head.txt -old base.txt
+//
+//	# Gate against the committed record (same-host workflows only —
+//	# absolute records/s are not portable across machines):
+//	go run ./cmd/benchgate -new bench_new.txt -gate BENCH_2.json
+//
+// Gates compare best-of-count samples, which suppresses scheduler
+// noise, and fail on a regression larger than -tolerance (default 10%).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is the committed benchmark state.
+type Record struct {
+	// Benchmark is the gating benchmark name.
+	Benchmark string `json:"benchmark"`
+	// CPU is the host the record was produced on (from the bench header).
+	CPU string `json:"cpu,omitempty"`
+	// RecordsPerSec is the best observed simulator throughput.
+	RecordsPerSec float64 `json:"records_per_s"`
+	// RecordsPerSecSamples are all observed samples (one per -count).
+	RecordsPerSecSamples []float64 `json:"records_per_s_samples,omitempty"`
+	// AllocsPerRecord is the amortized allocation rate of a full run
+	// (construction + warmup included; steady state is exactly zero and
+	// gated by internal/sim's allocation tests).
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+	// BaselineRecordsPerSec is the pre-optimization throughput measured
+	// with the same benchmark on the same host.
+	BaselineRecordsPerSec float64 `json:"baseline_records_per_s,omitempty"`
+	// SpeedupVsBaseline is RecordsPerSec / BaselineRecordsPerSec.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+	// Figure7SweepSerialNs / Parallel4Ns record the engine-scaling
+	// benchmark (ns/op, best of count).
+	Figure7SweepSerialNs    float64 `json:"figure7_sweep_serial_ns,omitempty"`
+	Figure7SweepParallel4Ns float64 `json:"figure7_sweep_parallel4_ns,omitempty"`
+	// Figure7ParallelSpeedup is serial/parallel4 wall-clock.
+	Figure7ParallelSpeedup float64 `json:"figure7_parallel_speedup,omitempty"`
+}
+
+// parsed is everything benchgate extracts from one bench output file.
+type parsed struct {
+	cpu            string
+	recordsPerSec  []float64
+	allocsPerRec   []float64
+	sweepSerialNs  []float64
+	sweepPar4Ns    []float64
+	throughputName string
+}
+
+// parseBench scans `go test -bench` output. Metric lines look like:
+//
+//	BenchmarkSimulatorThroughput  3  1419e8 ns/op  0.0097 allocs/record  2220787 records/s  ...
+//	BenchmarkFigure7Sweep/serial-8  1  83e9 ns/op  ...
+func parseBench(path string) (*parsed, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p := &parsed{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "cpu:") {
+			p.cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		metric := func(unit string) (float64, bool) {
+			for i := 2; i+1 < len(fields); i += 2 {
+				if fields[i+1] == unit {
+					v, err := strconv.ParseFloat(fields[i], 64)
+					if err == nil {
+						return v, true
+					}
+				}
+			}
+			return 0, false
+		}
+		switch {
+		case strings.HasPrefix(name, "BenchmarkSimulatorThroughput"):
+			p.throughputName = name
+			if v, ok := metric("records/s"); ok {
+				p.recordsPerSec = append(p.recordsPerSec, v)
+			}
+			if v, ok := metric("allocs/record"); ok {
+				p.allocsPerRec = append(p.allocsPerRec, v)
+			}
+		case strings.HasPrefix(name, "BenchmarkFigure7Sweep/serial"):
+			if v, ok := metric("ns/op"); ok {
+				p.sweepSerialNs = append(p.sweepSerialNs, v)
+			}
+		case strings.HasPrefix(name, "BenchmarkFigure7Sweep/parallel4"):
+			if v, ok := metric("ns/op"); ok {
+				p.sweepPar4Ns = append(p.sweepPar4Ns, v)
+			}
+		}
+	}
+	return p, sc.Err()
+}
+
+func best(samples []float64, higherIsBetter bool) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	b := samples[0]
+	for _, v := range samples[1:] {
+		if (higherIsBetter && v > b) || (!higherIsBetter && v < b) {
+			b = v
+		}
+	}
+	return b
+}
+
+func main() {
+	var (
+		newPath         = flag.String("new", "", "bench output to record or gate (required)")
+		outPath         = flag.String("out", "", "write a Record JSON here (record mode)")
+		baselineRecords = flag.Float64("baseline-records", 0, "pre-optimization records/s to embed (record mode)")
+		gatePath        = flag.String("gate", "", "committed Record JSON to gate against (same-host gate mode)")
+		oldPath         = flag.String("old", "", "bench output of the base/old build to gate against (same-runner gate mode)")
+		tolerance       = flag.Float64("tolerance", 0.10, "allowed fractional throughput regression before failing")
+		printBaseline   = flag.String("print-baseline", "", "print baseline_records_per_s from this Record JSON and exit")
+	)
+	flag.Parse()
+	if *printBaseline != "" {
+		data, err := os.ReadFile(*printBaseline)
+		if err != nil {
+			fail(err)
+		}
+		var rec Record
+		if err := json.Unmarshal(data, &rec); err != nil {
+			fail(err)
+		}
+		fmt.Printf("%.0f\n", rec.BaselineRecordsPerSec)
+		return
+	}
+	if *newPath == "" || (*outPath == "" && *gatePath == "" && *oldPath == "") {
+		fmt.Fprintln(os.Stderr, "benchgate: need -new plus -out (record), -old (same-runner gate), or -gate (same-host gate)")
+		os.Exit(2)
+	}
+	p, err := parseBench(*newPath)
+	if err != nil {
+		fail(err)
+	}
+	if len(p.recordsPerSec) == 0 {
+		fail(fmt.Errorf("no BenchmarkSimulatorThroughput records/s samples in %s", *newPath))
+	}
+	rec := Record{
+		Benchmark:            "BenchmarkSimulatorThroughput",
+		CPU:                  p.cpu,
+		RecordsPerSec:        best(p.recordsPerSec, true),
+		RecordsPerSecSamples: p.recordsPerSec,
+		AllocsPerRecord:      best(p.allocsPerRec, false),
+	}
+	if len(p.sweepSerialNs) > 0 && len(p.sweepPar4Ns) > 0 {
+		rec.Figure7SweepSerialNs = best(p.sweepSerialNs, false)
+		rec.Figure7SweepParallel4Ns = best(p.sweepPar4Ns, false)
+		rec.Figure7ParallelSpeedup = rec.Figure7SweepSerialNs / rec.Figure7SweepParallel4Ns
+	}
+
+	if *oldPath != "" {
+		old, err := parseBench(*oldPath)
+		if err != nil {
+			fail(err)
+		}
+		if len(old.recordsPerSec) == 0 {
+			fail(fmt.Errorf("no BenchmarkSimulatorThroughput records/s samples in %s", *oldPath))
+		}
+		oldBest := best(old.recordsPerSec, true)
+		ratio := rec.RecordsPerSec / oldBest
+		fmt.Printf("benchgate: %s: %.0f records/s (head) vs %.0f (base, same runner) — ratio %.3f, tolerance %.0f%%\n",
+			rec.Benchmark, rec.RecordsPerSec, oldBest, ratio, *tolerance*100)
+		if ratio < 1-*tolerance {
+			fail(fmt.Errorf("throughput regression: ratio %.3f < %.3f", ratio, 1-*tolerance))
+		}
+	}
+
+	if *gatePath != "" {
+		data, err := os.ReadFile(*gatePath)
+		if err != nil {
+			fail(err)
+		}
+		var committed Record
+		if err := json.Unmarshal(data, &committed); err != nil {
+			fail(err)
+		}
+		ratio := rec.RecordsPerSec / committed.RecordsPerSec
+		fmt.Printf("benchgate: %s: %.0f records/s vs committed %.0f (ratio %.3f, tolerance %.0f%%)\n",
+			rec.Benchmark, rec.RecordsPerSec, committed.RecordsPerSec, ratio, *tolerance*100)
+		if ratio < 1-*tolerance {
+			fail(fmt.Errorf("throughput regression: ratio %.3f < %.3f", ratio, 1-*tolerance))
+		}
+	}
+
+	if *outPath != "" {
+		if *baselineRecords > 0 {
+			rec.BaselineRecordsPerSec = *baselineRecords
+			rec.SpeedupVsBaseline = rec.RecordsPerSec / *baselineRecords
+		}
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("benchgate: wrote %s (%.0f records/s", *outPath, rec.RecordsPerSec)
+		if rec.SpeedupVsBaseline > 0 {
+			fmt.Printf(", %.2fx vs baseline", rec.SpeedupVsBaseline)
+		}
+		fmt.Println(")")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -9,15 +9,22 @@
 //	shiftsim -experiment fig6 -sizes 1024,8192,32768
 //	shiftsim -experiment all -parallel 8      # 8 engine workers (same output)
 //	shiftsim -experiment fig8 -cache=false    # disable cell memoization
+//	shiftsim -experiment fig8 -cpuprofile cpu.out -memprofile mem.out
 //
 // Experiments: tableI, fig1, fig2, fig3, fig6, fig7, fig8, fig9, fig10,
 // pd, power, storage, sensitivity, generator, all.
+//
+// The -cpuprofile and -memprofile flags write pprof profiles covering the
+// experiment runs (inspect with `go tool pprof`); see the README's
+// "Performance" section for the profiling workflow.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -38,8 +45,37 @@ func main() {
 		coreType   = flag.String("core", "lean-ooo", "core type: fat-ooo, lean-ooo, lean-io")
 		parallel   = flag.Int("parallel", 0, "experiment-engine workers (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 		useCache   = flag.Bool("cache", true, "memoize per-cell results across experiments (shared baselines are simulated once)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (after the runs) to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		// fail() exits through os.Exit, so stop explicitly there too.
+		stopCPUProfile = func() { pprof.StopCPUProfile(); f.Close() }
+		defer stopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "shiftsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "shiftsim:", err)
+			}
+		}()
+	}
 
 	opts := shift.DefaultOptions()
 	if *quick {
@@ -154,7 +190,11 @@ func str[T fmt.Stringer](v T, err error) (string, error) {
 	return v.String(), nil
 }
 
+// stopCPUProfile flushes the CPU profile on the os.Exit error path.
+var stopCPUProfile = func() {}
+
 func fail(err error) {
+	stopCPUProfile()
 	fmt.Fprintln(os.Stderr, "shiftsim:", err)
 	os.Exit(1)
 }

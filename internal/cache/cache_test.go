@@ -87,6 +87,65 @@ func TestInsertExistingRefreshes(t *testing.T) {
 	}
 }
 
+// TestInsertRefreshClearsStalePrefetchBit pins down the demand re-fill
+// semantics: re-inserting a resident prefetched line as a demand fill
+// (prefetch=false) clears the prefetched bit, so the line neither counts
+// a later demand hit as prefetch-covered nor counts its eviction as a
+// discard. A prefetch re-fill (prefetch=true) leaves the bit alone.
+func TestInsertRefreshClearsStalePrefetchBit(t *testing.T) {
+	c := MustNew(tiny())
+	c.Insert(0, true)  // prefetched, never referenced
+	c.Insert(0, false) // demand fill of the same line supersedes it
+	if hit, wasPf := c.Lookup(0); !hit || wasPf {
+		t.Fatalf("Lookup(0) = %v,%v; demand re-fill must clear the prefetched bit", hit, wasPf)
+	}
+	if c.Stats().PrefetchHits != 0 {
+		t.Errorf("PrefetchHits = %d, want 0", c.Stats().PrefetchHits)
+	}
+	// Eviction after a demand re-fill must not count a discard.
+	c2 := MustNew(tiny())
+	c2.Insert(0, true)
+	c2.Insert(0, false)
+	c2.Insert(4, false)
+	if ev, evicted := c2.Insert(8, false); !evicted || ev.PrefetchUnused {
+		t.Errorf("evicted %+v (%v); demand-refilled line flagged as unused prefetch", ev, evicted)
+	}
+	if c2.Stats().PrefetchDiscards != 0 {
+		t.Errorf("PrefetchDiscards = %d, want 0", c2.Stats().PrefetchDiscards)
+	}
+	// Prefetch re-fill keeps the bit: the first demand use still reports
+	// prefetch coverage.
+	c3 := MustNew(tiny())
+	c3.Insert(0, true)
+	c3.Insert(0, true)
+	if _, wasPf := c3.Lookup(0); !wasPf {
+		t.Error("prefetch re-fill must keep the prefetched bit")
+	}
+}
+
+// TestInsertRefreshHonorsPinRange pins down the other refresh-path fix:
+// a re-fill re-applies the pin check, so a line inserted before the pin
+// range was configured becomes non-evictable on its next fill.
+func TestInsertRefreshHonorsPinRange(t *testing.T) {
+	c := MustNew(tiny())
+	c.Insert(0, false) // inserted before the range exists: not pinned
+	c.PinRange(0, 1)
+	c.Insert(0, false) // refresh inside the range: now pinned
+	if got := c.PinnedCount(); got != 1 {
+		t.Fatalf("PinnedCount = %d, want 1 after refresh inside pin range", got)
+	}
+	// Thrash set 0: the refreshed line must survive.
+	for b := trace.BlockAddr(4); b < 400; b += 4 {
+		c.Insert(b, false)
+	}
+	if !c.Contains(0) {
+		t.Fatal("refreshed pinned line evicted")
+	}
+	if err := c.CheckLRUInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPrefetchAccounting(t *testing.T) {
 	c := MustNew(tiny())
 	c.Insert(0, true)

@@ -11,23 +11,89 @@ import "shift/internal/trace"
 // full, the oldest completed entry is retired first, and if none has
 // completed, the new request must wait for the earliest completion
 // (modelled by returning that cycle as the earliest issue time).
+//
+// The file is a dense ring of in-flight entries (two parallel arrays,
+// swap-remove compaction) with a cached minimum completion cycle:
+//
+//   - Expire, called once per simulated record, is a single compare when
+//     nothing has completed — amortized O(1) instead of the full-map
+//     sweep the previous map-backed implementation performed per record;
+//   - victim selection on reclaim is fully deterministic: the earliest
+//     completion wins and ties break on the lowest slot index, where the
+//     map-backed version retired whichever entry Go's randomized map
+//     iteration happened to visit first;
+//   - all other operations are short scans over the dense arrays (the
+//     file holds at most 32–64 entries and typically far fewer in
+//     flight, so a scan of two hot cache lines beats pointer-heavy
+//     structures), and nothing allocates after construction.
 type MSHRs struct {
-	cap     int
-	entries map[trace.BlockAddr]int64 // block -> ready cycle
+	cap int
+	// blocks/ready are the live entries, dense in [0, n). Slot order is
+	// deterministic (insertion order permuted by swap-removes, which are
+	// themselves deterministic).
+	blocks []trace.BlockAddr
+	ready  []int64
+	n      int
+	// minReady caches min(ready[:n]) (maxReady when empty) so the
+	// per-record Expire call usually costs one compare.
+	minReady int64
 }
+
+const maxReady = int64(^uint64(0) >> 1)
 
 // NewMSHRs builds an MSHR file with the given capacity.
 func NewMSHRs(capacity int) *MSHRs {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &MSHRs{cap: capacity, entries: make(map[trace.BlockAddr]int64, capacity)}
+	return &MSHRs{
+		cap:      capacity,
+		blocks:   make([]trace.BlockAddr, capacity),
+		ready:    make([]int64, capacity),
+		minReady: maxReady,
+	}
+}
+
+// find returns the slot of block b, or -1.
+func (m *MSHRs) find(b trace.BlockAddr) int {
+	for i, blk := range m.blocks[:m.n] {
+		if blk == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// syncMin recomputes the cached minimum completion cycle.
+func (m *MSHRs) syncMin() {
+	min := maxReady
+	for _, r := range m.ready[:m.n] {
+		if r < min {
+			min = r
+		}
+	}
+	m.minReady = min
+}
+
+// removeAt swap-removes slot i and refreshes the cached minimum.
+func (m *MSHRs) removeAt(i int) {
+	last := m.n - 1
+	r := m.ready[i]
+	m.blocks[i] = m.blocks[last]
+	m.ready[i] = m.ready[last]
+	m.n = last
+	if r <= m.minReady {
+		m.syncMin()
+	}
 }
 
 // Lookup returns the ready cycle of an in-flight fill for b, if any.
 func (m *MSHRs) Lookup(b trace.BlockAddr) (ready int64, ok bool) {
-	ready, ok = m.entries[b]
-	return
+	i := m.find(b)
+	if i < 0 {
+		return 0, false
+	}
+	return m.ready[i], true
 }
 
 // Allocate records a fill for b completing at ready. If b is already in
@@ -35,54 +101,92 @@ func (m *MSHRs) Lookup(b trace.BlockAddr) (ready int64, ok bool) {
 // request could actually be accepted (== now unless the file was full of
 // still-pending entries).
 func (m *MSHRs) Allocate(b trace.BlockAddr, now, ready int64) int64 {
-	if cur, ok := m.entries[b]; ok {
-		if cur <= ready {
-			return now
+	if i := m.find(b); i >= 0 {
+		if ready < m.ready[i] {
+			m.ready[i] = ready
+			if ready < m.minReady {
+				m.minReady = ready
+			}
 		}
-		m.entries[b] = ready
 		return now
 	}
 	accepted := now
-	if len(m.entries) >= m.cap {
+	if m.n >= m.cap {
 		accepted = m.reclaim(now)
 	}
-	m.entries[b] = ready
+	m.blocks[m.n] = b
+	m.ready[m.n] = ready
+	m.n++
+	if ready < m.minReady {
+		m.minReady = ready
+	}
 	return accepted
 }
 
-// reclaim retires completed entries; if none are complete, it waits until
-// the earliest completion and retires that entry, returning the wait cycle.
+// reclaim retires the earliest-completing entry (ties: lowest slot, a
+// deterministic choice). If it has already completed the new request
+// proceeds at now; otherwise the request waits for that completion cycle.
 func (m *MSHRs) reclaim(now int64) int64 {
-	var earliestBlk trace.BlockAddr
-	earliest := int64(-1)
-	for b, r := range m.entries {
-		if r <= now {
-			delete(m.entries, b)
-			return now
-		}
-		if earliest < 0 || r < earliest {
-			earliest, earliestBlk = r, b
+	victim, earliest := 0, m.ready[0]
+	for i := 1; i < m.n; i++ {
+		if m.ready[i] < earliest {
+			victim, earliest = i, m.ready[i]
 		}
 	}
-	delete(m.entries, earliestBlk)
-	return earliest
+	accepted := now
+	if earliest > now {
+		accepted = earliest
+	}
+	m.removeAt(victim)
+	return accepted
 }
 
 // Complete removes b's entry once the fill has been consumed.
-func (m *MSHRs) Complete(b trace.BlockAddr) { delete(m.entries, b) }
-
-// Expire drops all entries that completed at or before now. Calling it
-// periodically keeps the file small without changing semantics.
-func (m *MSHRs) Expire(now int64) {
-	for b, r := range m.entries {
-		if r <= now {
-			delete(m.entries, b)
-		}
+func (m *MSHRs) Complete(b trace.BlockAddr) {
+	if i := m.find(b); i >= 0 {
+		m.removeAt(i)
 	}
 }
 
+// Take is Lookup followed by Complete in a single probe: it returns the
+// ready cycle of an in-flight fill for b and retires the entry.
+func (m *MSHRs) Take(b trace.BlockAddr) (ready int64, ok bool) {
+	i := m.find(b)
+	if i < 0 {
+		return 0, false
+	}
+	ready = m.ready[i]
+	m.removeAt(i)
+	return ready, true
+}
+
+// Expire drops all entries that completed at or before now. Calling it
+// periodically keeps the file small without changing semantics; the
+// cached minimum makes the common nothing-completed call a single
+// compare.
+func (m *MSHRs) Expire(now int64) {
+	if m.minReady > now {
+		return
+	}
+	min := maxReady
+	for i := 0; i < m.n; {
+		if m.ready[i] <= now {
+			last := m.n - 1
+			m.blocks[i] = m.blocks[last]
+			m.ready[i] = m.ready[last]
+			m.n = last
+			continue // re-examine the swapped-in entry
+		}
+		if m.ready[i] < min {
+			min = m.ready[i]
+		}
+		i++
+	}
+	m.minReady = min
+}
+
 // InFlight returns the number of live entries.
-func (m *MSHRs) InFlight() int { return len(m.entries) }
+func (m *MSHRs) InFlight() int { return m.n }
 
 // Cap returns the configured capacity.
 func (m *MSHRs) Cap() int { return m.cap }

@@ -1,6 +1,11 @@
 package cache
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+
+	"shift/internal/trace"
+)
 
 func TestMSHRBasic(t *testing.T) {
 	m := NewMSHRs(4)
@@ -76,5 +81,121 @@ func TestMSHRZeroCap(t *testing.T) {
 	m := NewMSHRs(0)
 	if m.Cap() != 1 {
 		t.Errorf("zero capacity should clamp to 1, got %d", m.Cap())
+	}
+}
+
+// TestMSHRTake checks the fused Lookup+Complete.
+func TestMSHRTake(t *testing.T) {
+	m := NewMSHRs(4)
+	m.Allocate(7, 0, 30)
+	if r, ok := m.Take(7); !ok || r != 30 {
+		t.Fatalf("Take(7) = %d,%v; want 30,true", r, ok)
+	}
+	if _, ok := m.Lookup(7); ok {
+		t.Fatal("entry survived Take")
+	}
+	if _, ok := m.Take(7); ok {
+		t.Fatal("Take of absent entry succeeded")
+	}
+}
+
+// mshrTrace replays a seeded operation mix and returns the surviving
+// (block, ready) set plus the sequence of accepted cycles — everything
+// observable about the file.
+func mshrTrace(seed int64) (entries map[trace.BlockAddr]int64, accepted []int64) {
+	rng := trace.NewRNG(seed)
+	m := NewMSHRs(8)
+	now := int64(0)
+	for op := 0; op < 5000; op++ {
+		now += int64(rng.Intn(3))
+		b := trace.BlockAddr(rng.Intn(32))
+		switch rng.Intn(4) {
+		case 0, 1:
+			// Ties on the ready cycle are common by construction: ready
+			// is drawn from a tiny window, so reclaim's victim choice is
+			// exercised on equal completion cycles.
+			accepted = append(accepted, m.Allocate(b, now, now+int64(rng.Intn(4))))
+		case 2:
+			m.Complete(b)
+		case 3:
+			m.Expire(now)
+		}
+	}
+	entries = make(map[trace.BlockAddr]int64)
+	for b := trace.BlockAddr(0); b < 32; b++ {
+		if r, ok := m.Lookup(b); ok {
+			entries[b] = r
+		}
+	}
+	return entries, accepted
+}
+
+// TestMSHRDeterministicVictims runs two identically-seeded operation
+// sequences and requires identical surviving entries and accepted
+// cycles. The map-backed implementation this replaced picked reclaim
+// victims in Go's randomized map iteration order, so ties on the ready
+// cycle retired a different entry from run to run; the dense ring makes
+// retirement order a pure function of the operation sequence.
+func TestMSHRDeterministicVictims(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		e1, a1 := mshrTrace(seed)
+		e2, a2 := mshrTrace(seed)
+		if !reflect.DeepEqual(e1, e2) {
+			t.Fatalf("seed %d: surviving entries diverged:\n%v\n%v", seed, e1, e2)
+		}
+		if !reflect.DeepEqual(a1, a2) {
+			t.Fatalf("seed %d: accepted cycles diverged", seed)
+		}
+	}
+}
+
+// TestMSHRReclaimPrefersCompleted verifies that a full file retires a
+// completed entry (accepting at now) before stalling on pending ones,
+// and that the deterministic victim is the earliest completion.
+func TestMSHRReclaimPrefersCompleted(t *testing.T) {
+	m := NewMSHRs(3)
+	m.Allocate(1, 0, 5)
+	m.Allocate(2, 0, 7)
+	m.Allocate(3, 0, 500)
+	// At now=10, entries 1 and 2 have completed; the earliest (1) is
+	// retired and the request proceeds immediately.
+	if acc := m.Allocate(4, 10, 100); acc != 10 {
+		t.Fatalf("accepted at %d, want 10", acc)
+	}
+	if _, ok := m.Lookup(1); ok {
+		t.Fatal("earliest completed entry not retired")
+	}
+	if _, ok := m.Lookup(2); !ok {
+		t.Fatal("later completed entry wrongly retired")
+	}
+}
+
+// TestMSHRExpireKeepsMinimum drives interleaved allocate/expire cycles
+// and cross-checks InFlight against a naive model.
+func TestMSHRExpireKeepsMinimum(t *testing.T) {
+	rng := trace.NewRNG(3)
+	m := NewMSHRs(16)
+	naive := map[trace.BlockAddr]int64{}
+	now := int64(0)
+	for op := 0; op < 3000; op++ {
+		now += int64(rng.Intn(2))
+		b := trace.BlockAddr(rng.Intn(64))
+		if rng.Bool(0.6) && len(naive) < 16 {
+			ready := now + int64(rng.Intn(20))
+			if cur, ok := naive[b]; !ok || ready < cur {
+				naive[b] = ready
+			}
+			m.Allocate(b, now, ready)
+		} else {
+			m.Expire(now)
+			for nb, r := range naive {
+				if r <= now {
+					delete(naive, nb)
+				}
+			}
+		}
+		if m.InFlight() != len(naive) {
+			t.Fatalf("op %d: InFlight %d, naive %d", op, m.InFlight(), len(naive))
+		}
 	}
 }

@@ -104,12 +104,12 @@ func (r *Replayer) readAhead(si, needed int) int64 {
 func (r *Replayer) fill(si int, pos uint64, want int) int64 {
 	switch r.sh.cfg.Variant {
 	case Dedicated:
-		r.tmp = r.tmp[:0]
-		recs, next := r.sh.buf.ReadSeq(r.tmp, pos, want)
+		recs, next := r.sh.buf.ReadSeq(r.tmp[:0], pos, want)
+		r.tmp = recs // retain the grown backing array across calls
 		if len(recs) == 0 {
 			return 0
 		}
-		r.sab.FillRegions(si, recs, pos, next)
+		r.sab.FillRegions(si, recs, next)
 		return 0
 
 	case Virtualized:
@@ -129,14 +129,14 @@ func (r *Replayer) fill(si int, pos uint64, want int) int64 {
 			}
 			blockEnd := pos - pos%rpb + rpb
 			n := int(blockEnd - pos)
-			r.tmp = r.tmp[:0]
-			recs, next := r.sh.buf.ReadSeq(r.tmp, pos, n)
+			recs, next := r.sh.buf.ReadSeq(r.tmp[:0], pos, n)
+			r.tmp = recs
 			if len(recs) == 0 {
 				break
 			}
 			delay += r.sh.backend.ReadHistoryBlock(r.coreID, r.sh.hbBlockFor(pos))
 			r.stats.HistoryReads++
-			r.sab.FillRegions(si, recs, pos, next)
+			r.sab.FillRegions(si, recs, next)
 			got += len(recs)
 			pos = next
 		}
@@ -148,14 +148,9 @@ func (r *Replayer) fill(si int, pos uint64, want int) int64 {
 // emitWindow issues prefetch requests for the stream's un-issued records
 // inside the lookahead window, skipping the block being demand-fetched.
 func (r *Replayer) emitWindow(si int, current trace.BlockAddr, delay int64) {
-	r.tmp = r.sab.TakePrefetchWindow(si, r.tmp[:0])
-	for _, rec := range r.tmp {
-		r.blks = rec.Blocks(r.blks[:0], r.sh.cfg.SAB.Span)
-		for _, b := range r.blks {
-			if b != current {
-				r.out = append(r.out, prefetch.Request{Block: b, Delay: delay})
-			}
-		}
+	r.blks = r.sab.TakePrefetchBlocks(si, current, r.blks[:0])
+	for _, b := range r.blks {
+		r.out = append(r.out, prefetch.Request{Block: b, Delay: delay})
 	}
 }
 

@@ -14,6 +14,7 @@ package history
 
 import (
 	"fmt"
+	"math/bits"
 
 	"shift/internal/trace"
 )
@@ -54,13 +55,16 @@ func (r Region) Contains(b trace.BlockAddr, span int) bool {
 }
 
 // Blocks appends the covered block addresses (trigger first, then the set
-// vector offsets in ascending order) to dst and returns it.
+// vector offsets in ascending order) to dst and returns it. The vector is
+// walked set-bit by set-bit, so the cost scales with the blocks actually
+// covered rather than the span.
 func (r Region) Blocks(dst []trace.BlockAddr, span int) []trace.BlockAddr {
 	dst = append(dst, r.Trigger)
-	for off := 1; off < span; off++ {
-		if r.Vec&(1<<(off-1)) != 0 {
-			dst = append(dst, r.Trigger+trace.BlockAddr(off))
-		}
+	vec := uint32(r.Vec) & (1<<(span-1) - 1)
+	for vec != 0 {
+		off := bits.TrailingZeros32(vec)
+		dst = append(dst, r.Trigger+trace.BlockAddr(off+1))
+		vec &= vec - 1
 	}
 	return dst
 }

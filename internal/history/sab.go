@@ -2,6 +2,7 @@ package history
 
 import (
 	"fmt"
+	"math/bits"
 
 	"shift/internal/trace"
 )
@@ -44,24 +45,35 @@ func (c SABConfig) Validate() error {
 	return nil
 }
 
-// posRegion is a region record together with its history position.
-type posRegion struct {
-	pos uint64
-	r   Region
-}
-
 // stream is one replay context: a queue of upcoming region records and
 // the history position from which to read further records. pfIdx marks
 // how many records from the queue head have already been issued as
 // prefetches; the issue window never runs more than Lookahead records
 // ahead of the replay point, bounding the prefetches wasted when the
 // stream is abandoned.
+//
+// The queue is stored as parallel trigger/coverage arrays rather than a
+// slice of records: the per-record coverage probe (SAB.find, the hottest
+// loop of the simulator) then scans a dense array of 8-byte triggers and
+// 4-byte bitmaps — a couple of cache lines per stream — instead of
+// striding over fat record structs. cov bit i means block Trigger+i is
+// covered (bit 0, the trigger itself, is always set).
+//
+// lo/hi conservatively bound the union of the queued regions'
+// [Trigger, Trigger+span) ranges (empty when hi == 0). The bound only
+// grows while the stream lives (dropping records does not shrink it)
+// and resets on Alloc, which keeps maintenance off the per-record path
+// while staying a safe overapproximation. find consults it before
+// scanning the queue, so the coverage probe skips streams that cannot
+// possibly cover the block — the common case on the simulator hot path.
 type stream struct {
-	regions []posRegion
+	trig    []uint64
+	cov     []uint32
 	pfIdx   int
 	nextPos uint64
 	lastUse uint64
 	live    bool
+	lo, hi  trace.BlockAddr
 }
 
 // SAB is one core's stream address buffer file.
@@ -80,7 +92,14 @@ func NewSAB(cfg SABConfig) (*SAB, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &SAB{cfg: cfg, streams: make([]stream, cfg.Streams)}, nil
+	s := &SAB{cfg: cfg, streams: make([]stream, cfg.Streams)}
+	for i := range s.streams {
+		// The queues are bounded by Capacity; allocate them once so no
+		// steady-state operation allocates.
+		s.streams[i].trig = make([]uint64, 0, cfg.Capacity)
+		s.streams[i].cov = make([]uint32, 0, cfg.Capacity)
+	}
+	return s, nil
 }
 
 // MustNewSAB panics on config errors.
@@ -106,16 +125,40 @@ func (s *SAB) Covers(blk trace.BlockAddr) bool {
 func (s *SAB) find(blk trace.BlockAddr) (si, ri int, ok bool) {
 	for si := range s.streams {
 		st := &s.streams[si]
-		if !st.live {
+		if !st.live || blk < st.lo || blk >= st.hi {
 			continue
 		}
-		for ri := range st.regions {
-			if st.regions[ri].r.Contains(blk, s.cfg.Span) {
+		cov := st.cov[:len(st.trig)] // hoist the bounds proof out of the scan
+		for ri, t := range st.trig {
+			if d := uint64(blk) - t; d < MaxRegionSpan && cov[ri]>>d&1 != 0 {
 				return si, ri, true
 			}
 		}
 	}
 	return 0, 0, false
+}
+
+// covMask builds the coverage bitmap of r at the configured span:
+// Region.Contains ignores vector bits at or beyond span-1, so they are
+// masked out here to keep the cached probe exactly equivalent.
+func (s *SAB) covMask(r Region) uint32 {
+	vec := uint32(r.Vec) & (1<<(s.cfg.Span-1) - 1)
+	return vec<<1 | 1
+}
+
+// grow widens st's coverage bound to include the queued records in
+// [from, len).
+func (s *SAB) grow(st *stream, from int) {
+	span := trace.BlockAddr(s.cfg.Span)
+	for _, t := range st.trig[from:] {
+		tb := trace.BlockAddr(t)
+		if st.hi == 0 || tb < st.lo {
+			st.lo = tb
+		}
+		if end := tb + span; end > st.hi {
+			st.hi = end
+		}
+	}
 }
 
 // Advance consumes a retired/fetched block. If a live stream covers blk,
@@ -132,7 +175,8 @@ func (s *SAB) Advance(blk trace.BlockAddr) (si, needed int, ok bool) {
 	}
 	st := &s.streams[si]
 	if ri > 0 {
-		st.regions = append(st.regions[:0], st.regions[ri:]...)
+		st.trig = append(st.trig[:0], st.trig[ri:]...)
+		st.cov = append(st.cov[:0], st.cov[ri:]...)
 		st.pfIdx -= ri
 		if st.pfIdx < 0 {
 			st.pfIdx = 0
@@ -141,8 +185,8 @@ func (s *SAB) Advance(blk trace.BlockAddr) (si, needed int, ok bool) {
 	s.clock++
 	st.lastUse = s.clock
 	s.advances++
-	needed = s.cfg.Lookahead - len(st.regions)
-	if max := s.cfg.Capacity - len(st.regions); needed > max {
+	needed = s.cfg.Lookahead - len(st.trig)
+	if max := s.cfg.Capacity - len(st.trig); needed > max {
 		needed = max
 	}
 	if needed < 0 {
@@ -169,23 +213,39 @@ func (s *SAB) Alloc() int {
 		s.evictions++
 	}
 	s.clock++
-	s.streams[victim] = stream{live: true, lastUse: s.clock}
+	// Reset in place, keeping the queue backing arrays so steady-state
+	// stream turnover does not allocate.
+	st := &s.streams[victim]
+	st.trig = st.trig[:0]
+	st.cov = st.cov[:0]
+	st.pfIdx = 0
+	st.nextPos = 0
+	st.lastUse = s.clock
+	st.live = true
+	st.lo, st.hi = 0, 0
 	s.allocs++
 	return victim
 }
 
-// Fill appends records (with their history positions) to stream si and
-// sets the position from which subsequent reads continue. If the queue
-// exceeds capacity, the oldest records are evicted (Section 4.1: "the
-// oldest spatial region record is evicted to make space").
-func (s *SAB) Fill(si int, recs []posRegion, nextPos uint64) {
+// FillRegions appends records to stream si and sets the position from
+// which subsequent reads continue. If the queue exceeds capacity, the
+// oldest records are evicted (Section 4.1: "the oldest spatial region
+// record is evicted to make space"). It performs no steady-state
+// allocation.
+func (s *SAB) FillRegions(si int, recs []Region, nextPos uint64) {
 	st := &s.streams[si]
 	if !st.live {
 		return
 	}
-	st.regions = append(st.regions, recs...)
-	if over := len(st.regions) - s.cfg.Capacity; over > 0 {
-		st.regions = append(st.regions[:0], st.regions[over:]...)
+	from := len(st.trig)
+	for _, r := range recs {
+		st.trig = append(st.trig, uint64(r.Trigger))
+		st.cov = append(st.cov, s.covMask(r))
+	}
+	s.grow(st, from)
+	if over := len(st.trig) - s.cfg.Capacity; over > 0 {
+		st.trig = append(st.trig[:0], st.trig[over:]...)
+		st.cov = append(st.cov[:0], st.cov[over:]...)
 		st.pfIdx -= over
 		if st.pfIdx < 0 {
 			st.pfIdx = 0
@@ -194,23 +254,32 @@ func (s *SAB) Fill(si int, recs []posRegion, nextPos uint64) {
 	st.nextPos = nextPos
 }
 
-// TakePrefetchWindow appends to dst the queued records of stream si that
-// are inside the issue window (the first Lookahead records of the queue)
-// and have not been issued yet, marking them issued. Prefetch issue is
-// thus decoupled from history read granularity: virtualized SHIFT reads
-// whole 12-record history blocks into the queue, but prefetches still
-// trickle out at the lookahead rate as the stream advances.
-func (s *SAB) TakePrefetchWindow(si int, dst []Region) []Region {
+// TakePrefetchBlocks appends to dst the block addresses covered by the
+// un-issued records inside the issue window (the first Lookahead records
+// of the queue) — trigger first, then set vector offsets ascending,
+// exactly as Region.Blocks orders them — skipping `skip` (the block
+// being demand-fetched right now), and marks the records issued.
+// Prefetch issue is thus decoupled from history read granularity:
+// virtualized SHIFT reads whole 12-record history blocks into the
+// queue, but prefetches still trickle out at the lookahead rate as the
+// stream advances.
+func (s *SAB) TakePrefetchBlocks(si int, skip trace.BlockAddr, dst []trace.BlockAddr) []trace.BlockAddr {
 	st := &s.streams[si]
 	if !st.live {
 		return dst
 	}
 	end := s.cfg.Lookahead
-	if end > len(st.regions) {
-		end = len(st.regions)
+	if end > len(st.trig) {
+		end = len(st.trig)
 	}
 	for i := st.pfIdx; i < end; i++ {
-		dst = append(dst, st.regions[i].r)
+		t := trace.BlockAddr(st.trig[i])
+		for cov := st.cov[i]; cov != 0; cov &= cov - 1 {
+			b := t + trace.BlockAddr(bits.TrailingZeros32(cov))
+			if b != skip {
+				dst = append(dst, b)
+			}
+		}
 	}
 	if end > st.pfIdx {
 		st.pfIdx = end
@@ -218,20 +287,11 @@ func (s *SAB) TakePrefetchWindow(si int, dst []Region) []Region {
 	return dst
 }
 
-// FillRegions is Fill for callers that track positions themselves.
-func (s *SAB) FillRegions(si int, recs []Region, basePos, nextPos uint64) {
-	tmp := make([]posRegion, len(recs))
-	for i, r := range recs {
-		tmp[i] = posRegion{pos: basePos + uint64(i), r: r}
-	}
-	s.Fill(si, tmp, nextPos)
-}
-
 // NextPos returns the history position stream si continues reading from.
 func (s *SAB) NextPos(si int) uint64 { return s.streams[si].nextPos }
 
 // StreamLen returns the queued record count of stream si.
-func (s *SAB) StreamLen(si int) int { return len(s.streams[si].regions) }
+func (s *SAB) StreamLen(si int) int { return len(s.streams[si].trig) }
 
 // LiveStreams returns the number of live streams.
 func (s *SAB) LiveStreams() int {
@@ -247,7 +307,10 @@ func (s *SAB) LiveStreams() int {
 // Reset invalidates all streams (used at workload switches).
 func (s *SAB) Reset() {
 	for i := range s.streams {
-		s.streams[i] = stream{}
+		st := &s.streams[i]
+		st.trig = st.trig[:0]
+		st.cov = st.cov[:0]
+		*st = stream{trig: st.trig, cov: st.cov}
 	}
 }
 
@@ -262,11 +325,24 @@ func (s *SAB) CheckInvariants() error {
 		return fmt.Errorf("history: stream count %d != %d", len(s.streams), s.cfg.Streams)
 	}
 	for i := range s.streams {
-		if n := len(s.streams[i].regions); n > s.cfg.Capacity {
+		st := &s.streams[i]
+		if len(st.trig) != len(st.cov) {
+			return fmt.Errorf("history: stream %d trigger/coverage length mismatch", i)
+		}
+		if n := len(st.trig); n > s.cfg.Capacity {
 			return fmt.Errorf("history: stream %d holds %d > capacity %d", i, n, s.cfg.Capacity)
 		}
-		if !s.streams[i].live && len(s.streams[i].regions) > 0 {
+		if !st.live && len(st.trig) > 0 {
 			return fmt.Errorf("history: dead stream %d holds records", i)
+		}
+		for ri := range st.trig {
+			t := trace.BlockAddr(st.trig[ri])
+			if t < st.lo || t+trace.BlockAddr(s.cfg.Span) > st.hi {
+				return fmt.Errorf("history: stream %d region %d outside coverage bound [%d,%d)", i, ri, st.lo, st.hi)
+			}
+			if st.cov[ri]&1 == 0 {
+				return fmt.Errorf("history: stream %d region %d missing trigger coverage bit", i, ri)
+			}
 		}
 	}
 	return nil

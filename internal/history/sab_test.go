@@ -32,7 +32,7 @@ func TestSABConfigValidate(t *testing.T) {
 func TestSABAllocAndFill(t *testing.T) {
 	s := MustNewSAB(sabCfg())
 	si := s.Alloc()
-	s.FillRegions(si, []Region{{Trigger: 100, Vec: 0b11}}, 0, 1)
+	s.FillRegions(si, []Region{{Trigger: 100, Vec: 0b11}}, 1)
 	if !s.Covers(100) || !s.Covers(101) || !s.Covers(102) {
 		t.Error("filled region not covered")
 	}
@@ -51,7 +51,7 @@ func TestSABAdvanceDropsPassedRegions(t *testing.T) {
 	s := MustNewSAB(sabCfg())
 	si := s.Alloc()
 	recs := []Region{{Trigger: 10}, {Trigger: 20}, {Trigger: 30}}
-	s.FillRegions(si, recs, 0, 3)
+	s.FillRegions(si, recs, 3)
 	// Advance to the block in region 2 (trigger 30): regions 10 and 20
 	// are passed and must be dropped.
 	gotSi, needed, ok := s.Advance(30)
@@ -86,7 +86,7 @@ func TestSABCapacityEviction(t *testing.T) {
 	for i := range recs {
 		recs[i] = Region{Trigger: trace.BlockAddr(1000 + 100*i)}
 	}
-	s.FillRegions(si, recs, 0, uint64(len(recs)))
+	s.FillRegions(si, recs, uint64(len(recs)))
 	if s.StreamLen(si) != cfg.Capacity {
 		t.Errorf("StreamLen = %d, want %d", s.StreamLen(si), cfg.Capacity)
 	}
@@ -108,7 +108,7 @@ func TestSABLRUStreamReplacement(t *testing.T) {
 	sis := make([]int, cfg.Streams)
 	for i := range sis {
 		sis[i] = s.Alloc()
-		s.FillRegions(sis[i], []Region{{Trigger: trace.BlockAddr(100 * (i + 1))}}, 0, 0)
+		s.FillRegions(sis[i], []Region{{Trigger: trace.BlockAddr(100 * (i + 1))}}, 0)
 	}
 	// Touch stream 0 so stream 1 is LRU.
 	s.Advance(100)
@@ -125,7 +125,7 @@ func TestSABLRUStreamReplacement(t *testing.T) {
 func TestSABReset(t *testing.T) {
 	s := MustNewSAB(sabCfg())
 	si := s.Alloc()
-	s.FillRegions(si, []Region{{Trigger: 5}}, 0, 0)
+	s.FillRegions(si, []Region{{Trigger: 5}}, 0)
 	s.Reset()
 	if s.LiveStreams() != 0 || s.Covers(5) {
 		t.Error("Reset did not clear streams")
@@ -137,7 +137,7 @@ func TestSABReset(t *testing.T) {
 
 func TestSABFillDeadStreamIgnored(t *testing.T) {
 	s := MustNewSAB(sabCfg())
-	s.FillRegions(0, []Region{{Trigger: 5}}, 0, 0) // never allocated
+	s.FillRegions(0, []Region{{Trigger: 5}}, 0) // never allocated
 	if s.Covers(5) {
 		t.Error("fill of dead stream took effect")
 	}
@@ -157,7 +157,7 @@ func TestSABInvariantsProperty(t *testing.T) {
 				for i := range recs {
 					recs[i] = Region{Trigger: blk + trace.BlockAddr(i*10), Vec: uint16(rng.Intn(128))}
 				}
-				s.FillRegions(si, recs, 0, uint64(n))
+				s.FillRegions(si, recs, uint64(n))
 			case 1:
 				s.Advance(blk)
 			case 2:

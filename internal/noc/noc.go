@@ -82,6 +82,14 @@ func (c Config) Tiles() int { return c.Width * c.Height }
 // Mesh is the interconnect model plus its traffic counters.
 type Mesh struct {
 	cfg Config
+	// hopTable[a*tiles+b] caches the Manhattan distance between every
+	// tile pair (256 entries for the 4x4 mesh), keeping the per-message
+	// routing math off the simulator hot path.
+	hopTable []int8
+	tiles    int
+	// bankMask enables mask-based bank interleaving when the tile count
+	// is a power of two (-1 otherwise, falling back to modulo).
+	bankMask int64
 	// traffic[class] counts messages; hops[class] accumulates hop counts
 	// (for energy).
 	traffic [NumClasses]int64
@@ -93,7 +101,19 @@ func New(cfg Config) (*Mesh, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Mesh{cfg: cfg}, nil
+	m := &Mesh{cfg: cfg, tiles: cfg.Tiles(), bankMask: -1}
+	if m.tiles&(m.tiles-1) == 0 {
+		m.bankMask = int64(m.tiles - 1)
+	}
+	m.hopTable = make([]int8, m.tiles*m.tiles)
+	for a := 0; a < m.tiles; a++ {
+		ax, ay := m.coord(a)
+		for b := 0; b < m.tiles; b++ {
+			bx, by := m.coord(b)
+			m.hopTable[a*m.tiles+b] = int8(abs(ax-bx) + abs(ay-by))
+		}
+	}
+	return m, nil
 }
 
 // MustNew panics on config errors.
@@ -113,9 +133,7 @@ func (m *Mesh) coord(t int) (x, y int) { return t % m.cfg.Width, t / m.cfg.Width
 
 // Hops returns the Manhattan hop distance between tiles a and b.
 func (m *Mesh) Hops(a, b int) int {
-	ax, ay := m.coord(a)
-	bx, by := m.coord(b)
-	return abs(ax-bx) + abs(ay-by)
+	return int(m.hopTable[a*m.tiles+b])
 }
 
 // Latency returns the one-way latency in cycles between tiles a and b.
@@ -127,7 +145,10 @@ func (m *Mesh) RoundTrip(a, b int) int64 { return 2 * m.Latency(a, b) }
 // BankForBlock statically interleaves block addresses across LLC banks
 // (one bank per tile, as in the paper's tiled design).
 func (m *Mesh) BankForBlock(b trace.BlockAddr) int {
-	return int(uint64(b) % uint64(m.cfg.Tiles()))
+	if m.bankMask >= 0 {
+		return int(int64(b) & m.bankMask)
+	}
+	return int(uint64(b) % uint64(m.tiles))
 }
 
 // Send accounts one message of class cls travelling from tile a to tile b

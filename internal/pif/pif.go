@@ -154,9 +154,9 @@ func (p *PIF) OnAccess(a prefetch.Access) []prefetch.Request {
 		if pos, ok := p.index.Lookup(a.Block); ok && p.buf.Valid(pos) {
 			si := p.sab.Alloc()
 			p.stats.StreamAllocs++
-			p.tmp = p.tmp[:0]
-			recs, next := p.buf.ReadSeq(p.tmp, pos, p.cfg.SAB.Lookahead)
-			p.sab.FillRegions(si, recs, pos, next)
+			recs, next := p.buf.ReadSeq(p.tmp[:0], pos, p.cfg.SAB.Lookahead)
+			p.tmp = recs // retain the grown backing array across calls
+			p.sab.FillRegions(si, recs, next)
 			p.emitWindow(si, a.Block)
 		}
 	}
@@ -177,25 +177,20 @@ func (p *PIF) readAhead(si, needed int) {
 	if !p.buf.Valid(pos) {
 		return
 	}
-	p.tmp = p.tmp[:0]
-	recs, next := p.buf.ReadSeq(p.tmp, pos, needed)
+	recs, next := p.buf.ReadSeq(p.tmp[:0], pos, needed)
+	p.tmp = recs
 	if len(recs) == 0 {
 		return
 	}
-	p.sab.FillRegions(si, recs, pos, next)
+	p.sab.FillRegions(si, recs, next)
 }
 
 // emitWindow issues prefetches for the stream's un-issued records inside
 // the lookahead window, skipping the block being fetched right now.
 func (p *PIF) emitWindow(si int, current trace.BlockAddr) {
-	p.tmp = p.sab.TakePrefetchWindow(si, p.tmp[:0])
-	for _, r := range p.tmp {
-		p.blks = r.Blocks(p.blks[:0], p.cfg.SAB.Span)
-		for _, b := range p.blks {
-			if b != current {
-				p.out = append(p.out, prefetch.Request{Block: b})
-			}
-		}
+	p.blks = p.sab.TakePrefetchBlocks(si, current, p.blks[:0])
+	for _, b := range p.blks {
+		p.out = append(p.out, prefetch.Request{Block: b})
 	}
 }
 

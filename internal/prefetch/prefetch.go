@@ -47,6 +47,15 @@ type Prefetcher interface {
 	// OnAccess observes a retire-order demand access and returns the
 	// prefetches to issue. The returned slice is only valid until the
 	// next call.
+	//
+	// OnAccess sits on the simulator's per-record hot path and MUST be
+	// allocation-free in steady state: implementations return a slice
+	// backed by a buffer they own and reuse across calls, and keep any
+	// internal scratch (history reads, stream fills) in reused buffers
+	// as well. Warmup growth of those buffers is fine; per-call slice or
+	// map churn is not. The contract is enforced for the evaluated
+	// design points by TestStepZeroAllocSteadyState in internal/sim and
+	// by the allocs/record gate in the repository's benchmarks.
 	OnAccess(a Access) []Request
 }
 

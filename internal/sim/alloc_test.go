@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"testing"
+
+	"shift/internal/core"
+	"shift/internal/pif"
+	"shift/internal/tifs"
+	"shift/internal/trace"
+	"shift/internal/workload"
+)
+
+// The zero-allocation contract: in steady state, System.Step performs no
+// heap allocations for the paper's evaluated design points. Warmup may
+// grow reusable buffers (stream queues, request slices, reader stacks);
+// after it, the per-record hot path — trace generation, branch
+// prediction, cache probes, MSHR bookkeeping, the Prefetcher.OnAccess
+// replay/record machinery, and prefetch issue — must run allocation-free.
+// This is the regression gate behind the throughput work: a single
+// alloc/record costs ~30% of simulator throughput in GC and malloc
+// overhead.
+
+// buildSteadySystem constructs a warmed 4-core system for the given
+// prefetcher spec.
+func buildSteadySystem(t *testing.T, spec PrefetcherSpec) *System {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Prefetcher = spec
+	w, err := workload.New(testWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	readers := make([]trace.Reader, cfg.Cores)
+	for i := range readers {
+		readers[i] = w.NewCoreReader(i)
+	}
+	sys, err := New(cfg, readers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warmup: populate caches, histories, stream buffers, and grow every
+	// reusable buffer to its steady-state capacity.
+	if err := sys.Run(30000); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// measureStepAllocs returns allocations per Step over `rounds` lockstep
+// rounds of all cores. testing.AllocsPerRun runs a GC first and counts
+// mallocs, so slice growth that still happens in "steady" state shows up
+// directly.
+func measureStepAllocs(t *testing.T, sys *System, rounds int) float64 {
+	t.Helper()
+	steps := float64(rounds * sys.cfg.Cores)
+	per := testing.AllocsPerRun(1, func() {
+		for r := 0; r < rounds; r++ {
+			for c := 0; c < sys.cfg.Cores; c++ {
+				if _, err := sys.Step(c); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	})
+	return per / steps
+}
+
+func testZeroAllocs(t *testing.T, spec PrefetcherSpec) {
+	sys := buildSteadySystem(t, spec)
+	// One extra settling pass inside the measurement harness: the first
+	// AllocsPerRun invocation also runs the function once as warmup, so
+	// residual growth (e.g. a stream queue that first overflows here)
+	// does not count against the steady-state figure.
+	if got := measureStepAllocs(t, sys, 2000); got != 0 {
+		t.Fatalf("%s: %.6f allocs/record in steady-state Step, want 0", spec.Name(), got)
+	}
+}
+
+// TestStepZeroAllocSteadyStateSHIFT covers the paper's contribution
+// design point (virtualized SHIFT, shared history in the LLC).
+func TestStepZeroAllocSteadyStateSHIFT(t *testing.T) {
+	shift := core.DefaultConfig()
+	shift.HistEntries = 8192
+	testZeroAllocs(t, PrefetcherSpec{Kind: KindSHIFT, SHIFT: shift})
+}
+
+// TestStepZeroAllocSteadyStatePIF covers the per-core state-of-the-art
+// comparison point.
+func TestStepZeroAllocSteadyStatePIF(t *testing.T) {
+	testZeroAllocs(t, PrefetcherSpec{Kind: KindPIF, PIF: pif.Config2K()})
+}
+
+// TestStepZeroAllocSteadyStateBaselines covers the remaining
+// Prefetcher implementations (no prefetch, next-line, TIFS) — the
+// contract holds for all five, not just the headline designs.
+func TestStepZeroAllocSteadyStateBaselines(t *testing.T) {
+	testZeroAllocs(t, PrefetcherSpec{Kind: KindNone})
+	testZeroAllocs(t, PrefetcherSpec{Kind: KindNextLine, NextLineDegree: 2})
+	testZeroAllocs(t, PrefetcherSpec{Kind: KindTIFS, TIFS: tifs.DefaultConfig()})
+}

@@ -13,6 +13,7 @@ import (
 	"shift/internal/prefetch"
 	"shift/internal/tifs"
 	"shift/internal/trace"
+	"shift/internal/workload"
 )
 
 // System is one simulated CMP bound to per-core trace readers.
@@ -20,7 +21,14 @@ type System struct {
 	cfg Config
 
 	readers []trace.Reader
-	done    []bool
+	// fastReaders[i] is readers[i] when it is a concrete synthetic-
+	// workload reader, letting the per-record Next call skip interface
+	// dispatch (nil entries fall back to the interface).
+	fastReaders []*workload.CoreReader
+	done        []bool
+
+	// tiles[coreID] is the core's mesh tile (coreID mod tile count).
+	tiles []int
 
 	clocks  []*cpu.Clock
 	bp      []*bpred.Hybrid
@@ -35,12 +43,58 @@ type System struct {
 	rng     []*trace.RNG
 
 	dataAcc []float64
-	records []int64
-	fetch   []FetchStats
-	adapt   []adaptState
-	rounds  int64
+	// dataStep[n] caches float64(n) * DataMPKI / 1000 for small retire
+	// counts, sparing the per-record floating divide. Entries are
+	// computed with exactly the expression they replace, so accumulation
+	// is bit-identical.
+	dataStep []float64
+	records  []int64
+	fetch    []FetchStats
+	adapt    []adaptState
+	rounds   int64
+
+	// hot gathers each core's per-record state behind a single bounds
+	// check; see coreHot.
+	hot []coreHot
 
 	base measurement // snapshot at measurement start
+}
+
+// coreHot aliases the per-core objects Step touches on every record, so
+// the hot loop performs one slice index instead of ten. The canonical
+// owners remain the System slices above (the pointers alias, never
+// duplicate, their state).
+type coreHot struct {
+	clk  *cpu.Clock
+	bp   *bpred.Hybrid // nil when branch modelling is off
+	l1i  *cache.Cache
+	pb   *cache.Cache
+	mshr *cache.MSHRs
+	rng  *trace.RNG
+	pf   prefetch.Prefetcher
+	// rep devirtualizes OnAccess for the SHIFT replayer, the design
+	// point that dominates every figure's grid (nil otherwise).
+	rep   *core.Replayer
+	fetch *FetchStats
+}
+
+// buildHot populates the hot aliases; must run after buildPrefetchers.
+func (s *System) buildHot() {
+	s.hot = make([]coreHot, s.cfg.Cores)
+	for i := range s.hot {
+		h := &s.hot[i]
+		h.clk = s.clocks[i]
+		if s.bp != nil {
+			h.bp = s.bp[i]
+		}
+		h.l1i = s.l1i[i]
+		h.pb = s.pb[i]
+		h.mshr = s.l1mshr[i]
+		h.rng = s.rng[i]
+		h.pf = s.pf[i]
+		h.rep, _ = s.pf[i].(*core.Replayer)
+		h.fetch = &s.fetch[i]
+	}
 }
 
 // New builds a system over per-core trace readers (len must equal
@@ -53,6 +107,16 @@ func New(cfg Config, readers []trace.Reader) (*System, error) {
 		return nil, fmt.Errorf("sim: %d readers for %d cores", len(readers), cfg.Cores)
 	}
 	s := &System{cfg: cfg, readers: readers}
+	s.fastReaders = make([]*workload.CoreReader, len(readers))
+	for i, r := range readers {
+		if cr, ok := r.(*workload.CoreReader); ok {
+			s.fastReaders[i] = cr
+		}
+	}
+	s.dataStep = make([]float64, 4096)
+	for i := range s.dataStep {
+		s.dataStep[i] = float64(i) * cfg.DataMPKI / 1000
+	}
 	n := cfg.Cores
 	s.done = make([]bool, n)
 	s.clocks = make([]*cpu.Clock, n)
@@ -99,6 +163,10 @@ func New(cfg Config, readers []trace.Reader) (*System, error) {
 		}
 	}
 	s.mesh = noc.MustNew(cfg.Mesh)
+	s.tiles = make([]int, n)
+	for i := range s.tiles {
+		s.tiles[i] = i % cfg.Mesh.Tiles()
+	}
 	banks := cfg.Mesh.Tiles()
 	// Banks are selected by (block mod banks), so bank-local set indexing
 	// must skip those low bits.
@@ -120,6 +188,7 @@ func New(cfg Config, readers []trace.Reader) (*System, error) {
 	if err := s.buildPrefetchers(); err != nil {
 		return nil, err
 	}
+	s.buildHot()
 	s.base = s.snapshot()
 	return s, nil
 }
@@ -205,8 +274,8 @@ func (s *System) buildPrefetchers() error {
 }
 
 // tileOf maps a core to its mesh tile (tiled design: one core and one LLC
-// bank per tile).
-func (s *System) tileOf(coreID int) int { return coreID % s.cfg.Mesh.Tiles() }
+// bank per tile). The modulo is precomputed per core at construction.
+func (s *System) tileOf(coreID int) int { return s.tiles[coreID] }
 
 // transact models one LLC transaction by core coreID to the bank holding
 // blk: accounts one message of class cls with round-trip hops and returns
@@ -222,13 +291,13 @@ func (s *System) transact(cls noc.MsgClass, coreID int, blk trace.BlockAddr) (ba
 }
 
 // llcFetch performs a demand or prefetch fill from the LLC (or memory on
-// an LLC miss), returning the total latency.
+// an LLC miss), returning the total latency. The combined LookupInsert
+// probes the bank's tag index once for the common miss path.
 func (s *System) llcFetch(cls noc.MsgClass, coreID int, blk trace.BlockAddr) int64 {
 	bank, lat := s.transact(cls, coreID, blk)
-	hit, _ := s.llc[bank].Lookup(blk)
+	hit, _, _, _ := s.llc[bank].LookupInsert(blk, false)
 	if !hit {
 		lat += s.cfg.MemCycles
-		s.llc[bank].Insert(blk, false)
 	}
 	return lat
 }
@@ -239,7 +308,13 @@ func (s *System) Step(coreID int) (bool, error) {
 	if s.done[coreID] {
 		return false, nil
 	}
-	rec, err := s.readers[coreID].Next()
+	var rec trace.Record
+	var err error
+	if cr := s.fastReaders[coreID]; cr != nil {
+		rec, err = cr.Next()
+	} else {
+		rec, err = s.readers[coreID].Next()
+	}
 	if err == io.EOF {
 		s.done[coreID] = true
 		return false, nil
@@ -248,94 +323,110 @@ func (s *System) Step(coreID int) (bool, error) {
 		return false, err
 	}
 	s.records[coreID]++
-	clk := s.clocks[coreID]
+	h := &s.hot[coreID]
+	clk := h.clk
 
 	// Branch direction modelling: every record that does not fall
 	// through ends in a taken control transfer.
-	if s.bp != nil {
+	if h.bp != nil {
 		pc := rec.Block.Addr()
 		taken := rec.Kind != trace.KindSeq
-		if s.bp[coreID].Predict(pc) != taken {
+		if h.bp.PredictUpdate(pc, taken) != taken {
 			clk.Mispredict()
 		}
-		s.bp[coreID].Update(pc, taken)
 	}
 
 	now := clk.Now()
 	blk := rec.Block
-	fs := &s.fetch[coreID]
+	fs := h.fetch
 	fs.Accesses++
-	hit, _ := s.l1i[coreID].Lookup(blk)
+	// The L1 fill that follows every L1 miss is folded into the lookup
+	// probe; the demand fill is unconditional on a miss, so inserting
+	// before the prefetch-buffer/LLC legs below is equivalent (the L1 is
+	// not touched again until the next record).
+	hit, _, _, _ := h.l1i.LookupInsert(blk, false)
 	wasPf := false
 	var stall int64
 	if !hit {
-		if pbHit, _ := s.pb[coreID].Lookup(blk); pbHit {
+		if pbHit, _ := h.pb.Extract(blk); pbHit {
 			// Covered: the prefetch buffer holds the block. Expose only
 			// the remaining in-flight latency, move the block into the
-			// L1-I, and report the access as a prefetch-covered hit.
+			// L1-I (Extract drains the buffered line in the same probe),
+			// and report the access as a prefetch-covered hit.
 			fs.PBHits++
 			wasPf = true
 			hit = true
-			if ready, ok := s.l1mshr[coreID].Lookup(blk); ok {
+			if ready, ok := h.mshr.Take(blk); ok {
 				if ready > now {
 					stall = ready - now
 					fs.LatePBHits++
 				}
-				s.l1mshr[coreID].Complete(blk)
 			}
-			s.pb[coreID].Invalidate(blk)
-			s.l1i[coreID].Insert(blk, false)
 		} else {
 			fs.Misses++
-			eliminated := s.cfg.ElimProb > 0 && s.rng[coreID].Bool(s.cfg.ElimProb)
+			eliminated := s.cfg.ElimProb > 0 && h.rng.Bool(s.cfg.ElimProb)
 			lat := s.llcFetch(noc.DemandInstr, coreID, blk)
 			if !eliminated {
 				stall = lat
 			}
-			s.l1i[coreID].Insert(blk, false)
 		}
 	}
 	clk.FetchStall(stall)
 	clk.Retire(int(rec.Instrs))
 
 	// Prefetcher hook (retire order == access order in this frontend).
-	reqs := s.pf[coreID].OnAccess(prefetch.Access{
-		Now: now, Block: blk, Hit: hit, WasPrefetch: wasPf,
-	})
+	// The SHIFT replayer is called directly when present; other designs
+	// go through the interface.
+	acc := prefetch.Access{Now: now, Block: blk, Hit: hit, WasPrefetch: wasPf}
+	var reqs []prefetch.Request
+	if h.rep != nil {
+		reqs = h.rep.OnAccess(acc)
+	} else {
+		reqs = h.pf.OnAccess(acc)
+	}
 	if s.cfg.Mode == ModePrefetch {
 		for _, r := range reqs {
-			s.issuePrefetch(coreID, r)
+			s.issuePrefetch(coreID, h, r)
 		}
 	}
 
 	// Background data-side LLC traffic (normalization denominator for
 	// the Figure 9 study).
-	s.dataAcc[coreID] += float64(rec.Instrs) * s.cfg.DataMPKI / 1000
+	// Note: the per-record addend must be computed as (instrs*MPKI)/1000 —
+	// hoisting the division would change the floating-point rounding and
+	// with it the exact record at which the accumulator crosses 1.0,
+	// shifting the RNG stream and breaking bit-identical output. dataStep
+	// caches that exact expression per retire count.
+	if int(rec.Instrs) < len(s.dataStep) {
+		s.dataAcc[coreID] += s.dataStep[rec.Instrs]
+	} else {
+		s.dataAcc[coreID] += float64(rec.Instrs) * s.cfg.DataMPKI / 1000
+	}
 	for s.dataAcc[coreID] >= 1 {
 		s.dataAcc[coreID]--
-		bank := s.rng[coreID].Intn(len(s.llc))
+		bank := h.rng.Intn(len(s.llc))
 		hops := s.mesh.Hops(s.tileOf(coreID), bank)
 		s.mesh.Account(noc.DemandData, 2*hops)
 	}
-	s.l1mshr[coreID].Expire(clk.Now())
+	h.mshr.Expire(clk.Now())
 	return true, nil
 }
 
 // issuePrefetch brings r.Block into coreID's prefetch buffer unless it is
 // already cached, buffered, or in flight.
-func (s *System) issuePrefetch(coreID int, r prefetch.Request) {
+func (s *System) issuePrefetch(coreID int, h *coreHot, r prefetch.Request) {
 	blk := r.Block
-	if s.l1i[coreID].Contains(blk) || s.pb[coreID].Contains(blk) {
+	if h.l1i.Contains(blk) || h.pb.Contains(blk) {
 		return
 	}
-	if _, ok := s.l1mshr[coreID].Lookup(blk); ok {
+	if _, ok := h.mshr.Lookup(blk); ok {
 		return
 	}
-	issue := s.clocks[coreID].Now() + r.Delay
+	issue := h.clk.Now() + r.Delay
 	lat := s.llcFetch(noc.PrefetchFill, coreID, blk)
-	s.l1mshr[coreID].Allocate(blk, issue, issue+lat)
-	if ev, evicted := s.pb[coreID].Insert(blk, true); evicted && ev.PrefetchUnused {
-		s.fetch[coreID].Discards++
+	h.mshr.Allocate(blk, issue, issue+lat)
+	if ev, evicted := h.pb.Insert(blk, true); evicted && ev.PrefetchUnused {
+		h.fetch.Discards++
 		s.mesh.Account(noc.Discard, 0)
 	}
 }

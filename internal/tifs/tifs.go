@@ -66,6 +66,7 @@ type TIFS struct {
 	stats prefetch.Stats
 	out   []prefetch.Request
 	tmp   []history.Region
+	blks  []trace.BlockAddr
 }
 
 // New builds a per-core TIFS.
@@ -127,9 +128,9 @@ func (t *TIFS) OnAccess(a prefetch.Access) []prefetch.Request {
 		if pos, ok := t.index.Lookup(a.Block); ok && t.buf.Valid(pos) {
 			si := t.sab.Alloc()
 			t.stats.StreamAllocs++
-			t.tmp = t.tmp[:0]
-			recs, next := t.buf.ReadSeq(t.tmp, pos, t.cfg.SAB.Lookahead)
-			t.sab.FillRegions(si, recs, pos, next)
+			recs, next := t.buf.ReadSeq(t.tmp[:0], pos, t.cfg.SAB.Lookahead)
+			t.tmp = recs // retain the grown backing array across calls
+			t.sab.FillRegions(si, recs, next)
 			t.emitWindow(si, a.Block)
 		}
 	}
@@ -150,22 +151,21 @@ func (t *TIFS) readAhead(si, needed int) {
 	if !t.buf.Valid(pos) {
 		return
 	}
-	t.tmp = t.tmp[:0]
-	recs, next := t.buf.ReadSeq(t.tmp, pos, needed)
+	recs, next := t.buf.ReadSeq(t.tmp[:0], pos, needed)
+	t.tmp = recs
 	if len(recs) == 0 {
 		return
 	}
-	t.sab.FillRegions(si, recs, pos, next)
+	t.sab.FillRegions(si, recs, next)
 }
 
 // emitWindow issues prefetches for un-issued records in the lookahead
-// window.
+// window. TIFS records are single miss addresses (empty vectors), so
+// the fused block emission yields exactly the triggers.
 func (t *TIFS) emitWindow(si int, current trace.BlockAddr) {
-	t.tmp = t.sab.TakePrefetchWindow(si, t.tmp[:0])
-	for _, rec := range t.tmp {
-		if rec.Trigger != current {
-			t.out = append(t.out, prefetch.Request{Block: rec.Trigger})
-		}
+	t.blks = t.sab.TakePrefetchBlocks(si, current, t.blks[:0])
+	for _, b := range t.blks {
+		t.out = append(t.out, prefetch.Request{Block: b})
 	}
 }
 

@@ -40,17 +40,26 @@ func (r *RNG) Uint64() uint64 {
 	return result
 }
 
-// Intn returns a uniform int in [0, n). It panics if n <= 0.
+// Intn returns a uniform int in [0, n). It panics if n <= 0. For powers
+// of two the modulo is a mask — the same bits, so identical draws —
+// which keeps the integer divide off the simulator's per-record path
+// (bank selection over 16 banks, two-way call-site picks).
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("trace: RNG.Intn with non-positive n")
 	}
+	if n&(n-1) == 0 {
+		return int(r.Uint64() & uint64(n-1))
+	}
 	return int(r.Uint64() % uint64(n))
 }
 
-// Float64 returns a uniform float64 in [0, 1).
+// Float64 returns a uniform float64 in [0, 1). The scale factor is the
+// exact reciprocal of 2^53 — for powers of two, multiplying is
+// bit-identical to dividing and avoids a hardware divide on the per-
+// record trace-generation path.
 func (r *RNG) Float64() float64 {
-	return float64(r.Uint64()>>11) / (1 << 53)
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
 }
 
 // Bool returns true with probability p.

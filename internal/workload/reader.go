@@ -81,7 +81,7 @@ func (r *CoreReader) pushOSSeq(seq []int) {
 // executor: (optionally) the scheduler path, then the dispatch functions,
 // then the request's segment sequence one entry at a time.
 func (r *CoreReader) startRequest() {
-	p := r.w.params
+	p := &r.w.params
 	rt := 0
 	if r.zipf != nil {
 		rt = r.zipf.Next()
@@ -118,7 +118,7 @@ func (r *CoreReader) Next() (trace.Record, error) {
 	if len(r.stack) == 0 {
 		r.refill()
 	}
-	p := r.w.params
+	p := &r.w.params // by pointer: Params is too fat to copy per record
 	top := &r.stack[len(r.stack)-1]
 	f := r.fn(top.fi)
 	blk := f.entry + trace.BlockAddr(top.pos)
@@ -127,6 +127,12 @@ func (r *CoreReader) Next() (trace.Record, error) {
 	// Decide how this visit terminates. Precedence: trap interrupts
 	// anything (but never nests); then call sites; then skip branches;
 	// then end-of-function return; else sequential fall-through.
+	// The static block metadata is consulted once per visit.
+	siteIdx, skip := int16(-1), int8(0)
+	if int(top.pos) < len(f.meta) {
+		m := f.meta[top.pos]
+		siteIdx, skip = m.site, m.skip
+	}
 	var kind trace.Kind
 	switch {
 	case r.osDepth == 0 && r.rng.Bool(p.TrapRate):
@@ -140,8 +146,7 @@ func (r *CoreReader) Next() (trace.Record, error) {
 		}
 		h := r.w.handlers[r.rng.Intn(len(r.w.handlers))]
 		r.pushOSSeq(h)
-	case !inOS && siteAt(f, top.pos) >= 0 && r.appDepth() < p.CallDepth:
-		siteIdx := siteAt(f, top.pos)
+	case !inOS && siteIdx >= 0 && r.appDepth() < p.CallDepth:
 		site := r.w.sites[siteIdx]
 		callee := site.callee
 		if site.biased {
@@ -155,9 +160,9 @@ func (r *CoreReader) Next() (trace.Record, error) {
 		kind = trace.KindCall
 		top.pos++
 		r.push(int32(callee))
-	case !inOS && skipAt(f, top.pos) > 0:
+	case !inOS && skip > 0:
 		kind = trace.KindBranch
-		top.pos += int32(skipAt(f, top.pos)) // static always-taken branch
+		top.pos += int32(skip) // static always-taken branch
 	case top.pos >= int32(f.blocks)-1:
 		kind = trace.KindReturn
 		r.pop()
@@ -188,22 +193,6 @@ func (r *CoreReader) trimDeadFrames() {
 		}
 		r.pop()
 	}
-}
-
-// siteAt returns the call-site table index at position pos of f, or -1.
-func siteAt(f *function, pos int32) int16 {
-	if int(pos) >= len(f.sites) {
-		return -1
-	}
-	return f.sites[pos]
-}
-
-// skipAt returns the static branch advance at position pos of f, or 0.
-func skipAt(f *function, pos int32) int8 {
-	if int(pos) >= len(f.skips) {
-		return 0
-	}
-	return f.skips[pos]
 }
 
 // instrs models the number of instructions retired during a block visit.

@@ -41,18 +41,18 @@ func TestStaticSkipsAreStable(t *testing.T) {
 	}
 	skips := 0
 	for fi := range w.funcs {
-		for b, s := range w.funcs[fi].skips {
-			if s == 0 {
+		for b, m := range w.funcs[fi].meta {
+			if m.skip == 0 {
 				continue
 			}
 			skips++
-			if s < 2 || s > 3 {
-				t.Errorf("func %d pos %d: skip %d out of [2,3]", fi, b, s)
+			if m.skip < 2 || m.skip > 3 {
+				t.Errorf("func %d pos %d: skip %d out of [2,3]", fi, b, m.skip)
 			}
-			if b+int(s) >= w.funcs[fi].blocks {
-				t.Errorf("func %d pos %d: skip %d exits the function", fi, b, s)
+			if b+int(m.skip) >= w.funcs[fi].blocks {
+				t.Errorf("func %d pos %d: skip %d exits the function", fi, b, m.skip)
 			}
-			if w.funcs[fi].sites[b] != -1 {
+			if m.site != -1 {
 				t.Errorf("func %d pos %d: both call site and skip", fi, b)
 			}
 		}

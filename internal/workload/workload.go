@@ -147,17 +147,26 @@ type callSite struct {
 	biased bool
 }
 
+// blockMeta is the per-block static control-flow metadata of a function,
+// packed so the reader's per-record lookups of the call site and branch
+// skip touch one array (and usually one cache line) instead of two.
+type blockMeta struct {
+	// site is the index into w.sites of the call site at this block,
+	// or -1.
+	site int16
+	// skip is the position advance of a static always-taken forward
+	// branch (0 = fall through; >=2 skips blocks).
+	skip int8
+}
+
 // function is a contiguous run of blocks with call sites and static taken
 // branches at fixed positions.
 type function struct {
 	entry  trace.BlockAddr
 	blocks int
-	// sites maps block offset -> call site. Lookup is on the hot path, so
-	// it is a dense slice with -1 sentinels packed at build time.
-	sites []int16 // index into w.sites, or -1
-	// skips maps block offset -> position advance of a static always-
-	// taken forward branch (0 = fall through; >=2 skips blocks).
-	skips []int8
+	// meta maps block offset -> static metadata. Lookups are on the hot
+	// path, so it is a dense slice with sentinels packed at build time.
+	meta []blockMeta
 }
 
 // Workload is an immutable synthetic program plus its parameters. It is
@@ -334,14 +343,13 @@ func (w *Workload) wireCallGraph(rng *trace.RNG) {
 
 	for fi := range w.funcs {
 		f := &w.funcs[fi]
-		f.sites = make([]int16, f.blocks)
-		f.skips = make([]int8, f.blocks)
+		f.meta = make([]blockMeta, f.blocks)
 		for b := 0; b < f.blocks; b++ {
-			f.sites[b] = -1
+			f.meta[b].site = -1
 			// Static taken branch: skip 1-2 blocks (advance 2-3), only
 			// when the target stays inside the function.
 			if b < f.blocks-3 && rng.Bool(p.SkipProb) {
-				f.skips[b] = int8(2 + rng.Intn(2))
+				f.meta[b].skip = int8(2 + rng.Intn(2))
 				continue // a taken branch ends the block; no call here
 			}
 			if !rng.Bool(p.CallSiteDensity) {
@@ -363,7 +371,7 @@ func (w *Workload) wireCallGraph(rng *trace.RNG) {
 				continue // site table full; extremely large footprints only
 			}
 			w.sites = append(w.sites, cs)
-			f.sites[b] = int16(len(w.sites) - 1)
+			f.meta[b].site = int16(len(w.sites) - 1)
 		}
 	}
 }
