@@ -1,0 +1,103 @@
+// Command shiftd serves the SHIFT experiment engine over HTTP: a
+// long-running process that owns one shared engine and one result
+// store, so every client — and every repeated figure sweep — amortizes
+// simulations that any earlier request already paid for.
+//
+// Usage:
+//
+//	shiftd                                  # in-memory store on :8080
+//	shiftd -addr :9000 -cache-dir ~/.shiftcache   # results survive restarts
+//	shiftd -quick -parallel 8               # reduced default scale, 8 workers
+//
+// Endpoints (all under /v1; see the README for request/response
+// samples):
+//
+//	POST /v1/run          run one simulation cell (JSON config in, result out)
+//	POST /v1/grid         run a list of cells; results come back in cell order
+//	GET  /v1/figures/{n}  render an experiment by name ("7", "fig7", "tableI", ...)
+//	GET  /v1/healthz      liveness probe
+//	GET  /v1/stats        store hit/miss, simulated/deduped/in-flight counters
+//
+// Concurrent identical requests share one simulation (the engine's
+// in-flight deduplication), and every completed cell lands in the store,
+// so a figure requested twice — or a cell shared by two figures — is
+// simulated once. With -cache-dir that holds across restarts too.
+//
+// Shutdown is graceful: on SIGINT/SIGTERM the listener closes and
+// in-flight requests get -grace to finish. A request abandoned by its
+// client stops waiting immediately, but its simulation runs to
+// completion and seeds the store — retries hit instead of recomputing.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"shift"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		cacheDir = flag.String("cache-dir", "", "persist results under this directory (tiered memory-over-disk store); empty = in-memory only")
+		parallel = flag.Int("parallel", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+		quick    = flag.Bool("quick", false, "reduced default experiment scale (~6x faster; per-request overrides still apply)")
+		grace    = flag.Duration("grace", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+	)
+	flag.Parse()
+
+	base := shift.DefaultOptions()
+	if *quick {
+		base = shift.QuickOptions()
+	}
+	var (
+		rs       shift.ResultStore
+		storeDsc string
+	)
+	if *cacheDir != "" {
+		tiered, err := shift.NewTieredStore(*cacheDir)
+		if err != nil {
+			log.Fatalf("shiftd: %v", err)
+		}
+		rs = tiered
+		storeDsc = fmt.Sprintf("tiered memory-over-disk at %s (%d cells)", *cacheDir, tiered.Len())
+	} else {
+		rs = shift.NewResultCache()
+		storeDsc = "in-memory"
+	}
+	srv := newServer(shift.NewEngine(*parallel, rs), rs, base)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("shiftd listening on %s (store: %s)", *addr, storeDsc)
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("shiftd: %v", err)
+		}
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		log.Printf("shiftd: shutting down, waiting up to %s for in-flight requests", *grace)
+		sctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("shiftd: shutdown: %v", err)
+		}
+	}
+}

@@ -1,0 +1,388 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"shift"
+)
+
+// server wires the HTTP API to one shared engine and result store. All
+// endpoints funnel their cells into the same engine, so concurrent
+// requests — whether single cells, grids, or whole figures — share
+// simulations through the engine's in-flight deduplication and the
+// store.
+type server struct {
+	engine   *shift.Engine
+	store    shift.ResultStore
+	base     shift.Options
+	started  time.Time
+	requests atomic.Int64
+}
+
+// newServer builds a server around a shared engine, its store, and the
+// base options that requests override per-field.
+func newServer(engine *shift.Engine, rs shift.ResultStore, base shift.Options) *server {
+	return &server{engine: engine, store: rs, base: base, started: time.Now()}
+}
+
+// handler routes the /v1 API. Method matching is handled by the
+// ServeMux patterns (a POST to a GET route answers 405).
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/grid", s.handleGrid)
+	mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// cellSpec is the wire form of one simulation cell. Zero-valued fields
+// inherit the server's base options (scale, seed, core count), so the
+// minimal request is just {"workload": ..., "design": ...}.
+type cellSpec struct {
+	// Label optionally names the cell in grid responses and error
+	// messages; it has no effect on execution.
+	Label string `json:"label,omitempty"`
+	// Workload is a Table I workload name (required; see shift.Workloads).
+	Workload string `json:"workload"`
+	// Design is a figure-legend design name: "Baseline", "NextLine",
+	// "PIF_2K", "PIF_32K", "ZeroLat-SHIFT", "SHIFT", "TIFS" (required).
+	Design string `json:"design"`
+	// CoreType is "Fat-OoO", "Lean-OoO", or "Lean-IO" (default: the
+	// server's base core type).
+	CoreType string `json:"core_type,omitempty"`
+	// Cores is the CMP size, 1-16 (default: base).
+	Cores int `json:"cores,omitempty"`
+	// HistEntries overrides the history capacity (0 = design default).
+	HistEntries int `json:"hist_entries,omitempty"`
+	// PredictionOnly and CommonalityMode select the trace-based
+	// methodologies of Sections 5.2 and 3.
+	PredictionOnly  bool `json:"prediction_only,omitempty"`
+	CommonalityMode bool `json:"commonality_mode,omitempty"`
+	// ElimProb is the Figure 1 miss-elimination probability.
+	ElimProb float64 `json:"elim_prob,omitempty"`
+	// WarmupRecords/MeasureRecords override the window lengths
+	// (default: base).
+	WarmupRecords  int64 `json:"warmup_records,omitempty"`
+	MeasureRecords int64 `json:"measure_records,omitempty"`
+	// Seed overrides the simulator seed (default: base).
+	Seed *int64 `json:"seed,omitempty"`
+}
+
+// config resolves the wire cell against the server's base options.
+func (c cellSpec) config(base shift.Options) (shift.Config, error) {
+	if c.Workload == "" {
+		return shift.Config{}, errors.New("missing \"workload\"")
+	}
+	if c.Design == "" {
+		return shift.Config{}, errors.New("missing \"design\"")
+	}
+	d, err := shift.ParseDesign(c.Design)
+	if err != nil {
+		return shift.Config{}, err
+	}
+	ct := base.CoreType
+	if c.CoreType != "" {
+		if ct, err = shift.ParseCoreType(c.CoreType); err != nil {
+			return shift.Config{}, err
+		}
+	}
+	cfg := shift.Config{
+		Workload:        c.Workload,
+		Design:          d,
+		CoreType:        ct,
+		Cores:           base.Cores,
+		HistEntries:     c.HistEntries,
+		PredictionOnly:  c.PredictionOnly,
+		CommonalityMode: c.CommonalityMode,
+		ElimProb:        c.ElimProb,
+		WarmupRecords:   base.WarmupRecords,
+		MeasureRecords:  base.MeasureRecords,
+		Seed:            base.Seed,
+	}
+	if c.Cores != 0 {
+		cfg.Cores = c.Cores
+	}
+	if c.WarmupRecords != 0 {
+		cfg.WarmupRecords = c.WarmupRecords
+	}
+	if c.MeasureRecords != 0 {
+		cfg.MeasureRecords = c.MeasureRecords
+	}
+	if c.Seed != nil {
+		cfg.Seed = *c.Seed
+	}
+	return cfg, nil
+}
+
+// runResponse is the POST /v1/run reply.
+type runResponse struct {
+	// Key is the cell's content address (shift.Config.Key): the same
+	// key always denotes the same bit-identical result.
+	Key string `json:"key"`
+	// Result is the simulation result (field names as in
+	// shift.RunResult).
+	Result shift.RunResult `json:"result"`
+}
+
+// handleRun serves POST /v1/run: one cell in, one result out.
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var spec cellSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	cfg, err := spec.config(s.base)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := await(r.Context(), func() (shift.RunResult, error) {
+		return s.engine.RunOne(cfg)
+	})
+	if err != nil {
+		writeRunError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, runResponse{Key: cfg.Key(), Result: res})
+}
+
+// gridRequest is the POST /v1/grid body.
+type gridRequest struct {
+	// Cells is the experiment grid; duplicates are simulated once.
+	Cells []cellSpec `json:"cells"`
+}
+
+// gridResponse is the POST /v1/grid reply: one entry per requested
+// cell, in request order (the engine's deterministic cell-keyed
+// merge — never completion order).
+type gridResponse struct {
+	Results []gridCellResult `json:"results"`
+}
+
+// gridCellResult pairs one requested cell with its result.
+type gridCellResult struct {
+	Label  string          `json:"label,omitempty"`
+	Key    string          `json:"key"`
+	Result shift.RunResult `json:"result"`
+}
+
+// handleGrid serves POST /v1/grid: a cell list in, results in cell
+// order out.
+func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	var req gridRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	if len(req.Cells) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty \"cells\""))
+		return
+	}
+	cells := make([]shift.Cell, len(req.Cells))
+	for i, spec := range req.Cells {
+		cfg, err := spec.config(s.base)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("cell %d: %w", i, err))
+			return
+		}
+		label := spec.Label
+		if label == "" {
+			label = fmt.Sprintf("%s/%s", cfg.Workload, cfg.Design)
+		}
+		cells[i] = shift.Cell{Label: label, Config: cfg}
+	}
+	results, err := await(r.Context(), func() ([]shift.RunResult, error) {
+		return s.engine.RunAll(cells)
+	})
+	if err != nil {
+		writeRunError(w, r, err)
+		return
+	}
+	resp := gridResponse{Results: make([]gridCellResult, len(cells))}
+	for i := range cells {
+		resp.Results[i] = gridCellResult{
+			Label:  cells[i].Label,
+			Key:    cells[i].Config.Key(),
+			Result: results[i],
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleFigure serves GET /v1/figures/{name}: the named experiment
+// driver's rendered output as text/plain — byte-identical to `shiftsim
+// -experiment {name}` at the same options, since both dispatch through
+// shift.RunExperiment. Query parameters quick, workloads (comma-
+// separated), cores, seed, warmup, and measure override the server's
+// base options per request.
+func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	opts, err := s.optionsFromQuery(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	name := r.PathValue("name")
+	out, err := await(r.Context(), func() (string, error) {
+		return shift.RunExperiment(name, opts)
+	})
+	if err != nil {
+		if errors.Is(err, shift.ErrUnknownExperiment) {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeRunError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, out)
+}
+
+// optionsFromQuery applies per-request query overrides to the base
+// options and routes the work through the shared engine.
+func (s *server) optionsFromQuery(q url.Values) (shift.Options, error) {
+	o := s.base
+	if v := q.Get("quick"); v != "" {
+		quick, err := strconv.ParseBool(v)
+		if err != nil {
+			return o, fmt.Errorf("quick: %w", err)
+		}
+		if quick {
+			o = shift.QuickOptions()
+		}
+	}
+	if v := q.Get("workloads"); v != "" {
+		o.Workloads = nil
+		for _, w := range strings.Split(v, ",") {
+			o.Workloads = append(o.Workloads, strings.TrimSpace(w))
+		}
+	}
+	for _, p := range []struct {
+		name string
+		dst  *int64
+	}{
+		{"warmup", &o.WarmupRecords},
+		{"measure", &o.MeasureRecords},
+		{"seed", &o.Seed},
+	} {
+		if v := q.Get(p.name); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return o, fmt.Errorf("%s: %w", p.name, err)
+			}
+			*p.dst = n
+		}
+	}
+	if v := q.Get("cores"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return o, fmt.Errorf("cores: %w", err)
+		}
+		o.Cores = n
+	}
+	// All figure cells run on the shared engine: one store, one
+	// in-flight table, across every concurrent request.
+	o.Engine = s.engine
+	return o, nil
+}
+
+// handleHealthz serves GET /v1/healthz.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statsResponse is the GET /v1/stats reply.
+type statsResponse struct {
+	// UptimeSeconds is time since process start.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Requests counts HTTP requests served (all endpoints).
+	Requests int64 `json:"requests"`
+	// StoreHits/StoreMisses/StoreCells describe the result store.
+	StoreHits   int64 `json:"store_hits"`
+	StoreMisses int64 `json:"store_misses"`
+	StoreCells  int   `json:"store_cells"`
+	// Simulated counts cells actually simulated since start.
+	Simulated int64 `json:"simulated"`
+	// Deduped counts cells that piggybacked on a concurrent identical
+	// in-flight simulation.
+	Deduped int64 `json:"deduped"`
+	// Inflight is the number of simulations running right now.
+	Inflight int `json:"inflight"`
+}
+
+// handleStats serves GET /v1/stats.
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	es := s.engine.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Requests:      s.requests.Load(),
+		StoreHits:     es.StoreHits,
+		StoreMisses:   es.StoreMisses,
+		StoreCells:    es.StoreCells,
+		Simulated:     es.Simulated,
+		Deduped:       es.Deduped,
+		Inflight:      es.Inflight,
+	})
+}
+
+// await runs fn on its own goroutine and waits for its result or for
+// the request context to end, whichever comes first. An abandoned
+// request stops occupying its handler immediately, but the simulation
+// is not cancelled: it runs to completion on the engine and seeds the
+// store, so a retry of the same request hits instead of recomputing.
+func await[T any](ctx context.Context, fn func() (T, error)) (T, error) {
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, err := fn()
+		ch <- outcome{v, err}
+	}()
+	select {
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	case o := <-ch:
+		return o.v, o.err
+	}
+}
+
+// writeRunError maps a simulation failure to a response: client
+// disconnects get 503 (nobody is reading anyway, but the status keeps
+// logs honest), everything else is a 500 with the engine's error.
+func writeRunError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(r.Context().Err(), context.Canceled) {
+		writeError(w, http.StatusServiceUnavailable, errors.New("request abandoned; simulation continues and will be served from the store"))
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err)
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError writes a JSON error envelope.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

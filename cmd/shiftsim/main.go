@@ -9,6 +9,7 @@
 //	shiftsim -experiment fig6 -sizes 1024,8192,32768
 //	shiftsim -experiment all -parallel 8      # 8 engine workers (same output)
 //	shiftsim -experiment fig8 -cache=false    # disable cell memoization
+//	shiftsim -experiment all -cache-dir ~/.shiftcache   # persist cells across runs
 //	shiftsim -experiment fig8 -cpuprofile cpu.out -memprofile mem.out
 //
 // Experiments: tableI, fig1, fig2, fig3, fig6, fig7, fig8, fig9, fig10,
@@ -45,6 +46,7 @@ func main() {
 		coreType   = flag.String("core", "lean-ooo", "core type: fat-ooo, lean-ooo, lean-io")
 		parallel   = flag.Int("parallel", 0, "experiment-engine workers (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 		useCache   = flag.Bool("cache", true, "memoize per-cell results across experiments (shared baselines are simulated once)")
+		cacheDir   = flag.String("cache-dir", "", "persist per-cell results under this directory (tiered memory-over-disk store; a repeated sweep across process restarts simulates nothing)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after the runs) to this file")
 	)
@@ -90,7 +92,14 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Parallelism = *parallel
-	if *useCache {
+	switch {
+	case *cacheDir != "":
+		st, err := shift.NewTieredStore(*cacheDir)
+		if err != nil {
+			fail(err)
+		}
+		opts.Cache = st
+	case *useCache:
 		opts.Cache = shift.NewResultCache()
 	}
 	if *workloads != "" {
@@ -98,16 +107,11 @@ func main() {
 			opts.Workloads = append(opts.Workloads, strings.TrimSpace(w))
 		}
 	}
-	switch strings.ToLower(*coreType) {
-	case "fat-ooo":
-		opts.CoreType = shift.FatOoO
-	case "lean-io":
-		opts.CoreType = shift.LeanIO
-	case "lean-ooo":
-		opts.CoreType = shift.LeanOoO
-	default:
-		fail(fmt.Errorf("unknown core type %q", *coreType))
+	ct, err := shift.ParseCoreType(*coreType)
+	if err != nil {
+		fail(err)
 	}
+	opts.CoreType = ct
 
 	var fig6Sizes []int
 	if *sizes != "" {
@@ -122,8 +126,7 @@ func main() {
 
 	names := []string{*experiment}
 	if *experiment == "all" {
-		names = []string{"tableI", "storage", "fig1", "fig2", "fig3", "fig6",
-			"fig7", "fig8", "fig9", "fig10", "pd", "power", "sensitivity", "generator"}
+		names = shift.Experiments()
 	}
 	for _, name := range names {
 		start := time.Now()
@@ -134,60 +137,26 @@ func main() {
 		fmt.Println(out)
 		fmt.Printf("[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
-	if hits, misses := opts.Cache.Stats(); hits+misses > 0 {
-		fmt.Printf("[cell cache: %d hits, %d misses, %d cells simulated]\n",
-			hits, misses, opts.Cache.Len())
+	if opts.Cache != nil {
+		if hits, misses := opts.Cache.Stats(); hits+misses > 0 {
+			fmt.Printf("[cell cache: %d hits, %d misses, %d cells stored]\n",
+				hits, misses, opts.Cache.Len())
+		}
 	}
 }
 
-// runOne dispatches one experiment by name.
+// runOne dispatches one experiment by name through the shared registry
+// (shift.RunExperiment — the same dispatch cmd/shiftd serves), keeping
+// only the -sizes override for Figure 6 local to the CLI.
 func runOne(name string, opts shift.Options, fig6Sizes []int) (string, error) {
-	switch strings.ToLower(name) {
-	case "tablei":
-		return shift.TableI(), nil
-	case "storage":
-		return shift.RunStorageReport().String(), nil
-	case "fig1":
-		return str(shift.RunFigure1(opts))
-	case "fig2":
-		pd, err := shift.RunPerfDensity(opts)
+	if len(fig6Sizes) > 0 && strings.EqualFold(name, "fig6") {
+		f, err := shift.RunFigure6(opts, fig6Sizes)
 		if err != nil {
 			return "", err
 		}
-		return pd.Figure2(), nil
-	case "fig3":
-		return str(shift.RunFigure3(opts))
-	case "fig6":
-		return str(shift.RunFigure6(opts, fig6Sizes))
-	case "fig7":
-		return str(shift.RunFigure7(opts))
-	case "fig8":
-		return str(shift.RunFigure8(opts))
-	case "fig9":
-		return str(shift.RunFigure9(opts))
-	case "fig10":
-		return str(shift.RunFigure10(opts))
-	case "pd":
-		return str(shift.RunPerfDensity(opts))
-	case "power":
-		return str(shift.RunPowerStudy(opts))
-	case "sensitivity":
-		return str(shift.RunSensitivity(opts))
-	case "generator":
-		return str(shift.RunGeneratorStudy(opts))
-	default:
-		return "", fmt.Errorf("unknown experiment %q", name)
+		return f.String(), nil
 	}
-}
-
-// str renders a driver's figure unless the run failed. The error must
-// be checked before calling String: on failure drivers return a typed
-// nil pointer, which a plain fmt.Stringer nil-check cannot detect.
-func str[T fmt.Stringer](v T, err error) (string, error) {
-	if err != nil {
-		return "", err
-	}
-	return v.String(), nil
+	return shift.RunExperiment(name, opts)
 }
 
 // stopCPUProfile flushes the CPU profile on the os.Exit error path.

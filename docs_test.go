@@ -1,0 +1,213 @@
+package shift
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// This file is the documentation gate CI's docs job runs: every
+// exported symbol in the public API surface must carry a doc comment
+// stating its contract, and every relative link in the user-facing
+// markdown must resolve. Both checks are pure stdlib (go/ast + a small
+// link scanner), so the gate needs no external tooling.
+
+// docLintDirs is the API surface under the doc-comment contract: the
+// root package and the store subsystem it re-exports backends from.
+var docLintDirs = []string{".", "internal/store"}
+
+// TestExportedSymbolsDocumented fails for every exported top-level
+// symbol, method, struct field, or interface method without a doc
+// comment.
+func TestExportedSymbolsDocumented(t *testing.T) {
+	for _, dir := range docLintDirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pkg := range pkgs {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					checkDeclDocumented(t, fset, decl)
+				}
+			}
+		}
+	}
+}
+
+// checkDeclDocumented reports every undocumented exported symbol a
+// top-level declaration introduces.
+func checkDeclDocumented(t *testing.T, fset *token.FileSet, decl ast.Decl) {
+	t.Helper()
+	undocumented := func(pos token.Pos, kind, name string) {
+		t.Errorf("%s: exported %s %s has no doc comment", fset.Position(pos), kind, name)
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !receiverExported(d) {
+			return
+		}
+		if d.Doc == nil {
+			undocumented(d.Pos(), "function", d.Name.Name)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if !sp.Name.IsExported() {
+					continue
+				}
+				// A doc comment may sit on the type or on a
+				// single-spec declaration.
+				if d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+					undocumented(sp.Pos(), "type", sp.Name.Name)
+				}
+				checkFieldsDocumented(t, fset, sp)
+			case *ast.ValueSpec:
+				var exported []string
+				for _, n := range sp.Names {
+					if n.IsExported() {
+						exported = append(exported, n.Name)
+					}
+				}
+				if len(exported) == 0 {
+					continue
+				}
+				// A group-level doc comment ("// The three core
+				// types...") covers every name in the group.
+				if d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+					undocumented(sp.Pos(), "const/var", strings.Join(exported, ", "))
+				}
+			}
+		}
+	}
+}
+
+// receiverExported reports whether a method's receiver type is itself
+// exported (methods on unexported types are not public API).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr: // generic receiver Foo[T]
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// checkFieldsDocumented reports undocumented exported struct fields and
+// interface methods; a doc comment on a multi-name field covers every
+// name.
+func checkFieldsDocumented(t *testing.T, fset *token.FileSet, sp *ast.TypeSpec) {
+	t.Helper()
+	var fields *ast.FieldList
+	switch tt := sp.Type.(type) {
+	case *ast.StructType:
+		fields = tt.Fields
+	case *ast.InterfaceType:
+		fields = tt.Methods
+	default:
+		return
+	}
+	for _, f := range fields.List {
+		var exported []string
+		for _, n := range f.Names {
+			if n.IsExported() {
+				exported = append(exported, n.Name)
+			}
+		}
+		if len(exported) == 0 || f.Doc != nil || f.Comment != nil {
+			continue
+		}
+		t.Errorf("%s: exported field/method %s.%s has no doc comment",
+			fset.Position(f.Pos()), sp.Name.Name, strings.Join(exported, ", "))
+	}
+}
+
+// markdownLink matches [text](target); targets are checked unless they
+// are absolute URLs or intra-page anchors.
+var markdownLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks fails for every relative link in the user-facing
+// markdown (README, ARCHITECTURE, examples) whose target does not
+// exist.
+func TestMarkdownLinks(t *testing.T) {
+	var docs []string
+	for _, top := range []string{"README.md", "ARCHITECTURE.md"} {
+		if _, err := os.Stat(top); err != nil {
+			t.Errorf("missing %s", top)
+			continue
+		}
+		docs = append(docs, top)
+	}
+	err := filepath.WalkDir("examples", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".md") {
+			docs = append(docs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, doc := range docs {
+		body, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range markdownLink.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			if u, err := url.Parse(target); err == nil && u.Scheme != "" {
+				continue // external URL; availability is not ours to gate
+			}
+			if strings.HasPrefix(target, "#") {
+				continue // intra-page anchor
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			resolved := filepath.Join(filepath.Dir(doc), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", doc, m[1], resolved)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Log("no relative links found (nothing to check)")
+	}
+	// The README must document every binary under cmd/ — the "which
+	// binary do I want" contract.
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir("cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() && !strings.Contains(string(readme), e.Name()) {
+			t.Errorf("README.md does not mention cmd/%s", e.Name())
+		}
+	}
+}

@@ -1,10 +1,20 @@
 package shift
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 
 	"shift/internal/exp"
+	"shift/internal/store"
 )
+
+// errCellSkipped marks an in-flight claim abandoned un-simulated
+// because its owning RunAll failed on a different cell. Waiters treat
+// it as "nobody computed this" and take the cell over rather than
+// failing a perfectly simulable request.
+var errCellSkipped = errors.New("skipped: owning grid failed on another cell")
 
 // Cell is one independent unit of an experiment grid: a fully-specified
 // simulation (workload × design × config variant) that the engine can
@@ -29,35 +39,132 @@ func cell(cfg Config, labelParts ...string) Cell {
 // Engine executes experiment cells across a bounded worker pool and
 // merges results deterministically: results are keyed and ordered by
 // cell, never by completion time, so a parallel run is bit-identical to
-// a serial run for the same seed. An optional ResultCache memoizes
+// a serial run for the same seed. An optional ResultStore memoizes
 // cells content-addressed by config hash, so repeated sweeps (and grids
 // sharing cells, e.g. the per-workload baselines common to most
 // figures) skip already-computed work.
+//
+// An Engine is safe for concurrent use: RunAll may be called from many
+// goroutines (the shiftd service shares one Engine across all
+// requests), and concurrent calls that need the same cell share a
+// single simulation through in-flight deduplication — the first caller
+// simulates, every overlapping caller waits for that result. The
+// deduplication is best-effort (a cell finishing in the instant between
+// another caller's store miss and in-flight check is recomputed —
+// harmlessly, since the simulator is deterministic) and never changes
+// results, only work. The parallelism bound caps simulations across
+// all concurrent callers combined, so operator limits hold under load.
 type Engine struct {
 	opts  exp.Options
-	cache *ResultCache
+	store ResultStore
+
+	// sem bounds simulations ACROSS RunAll calls: exp.Map's pool only
+	// bounds one call, but a shared engine (shiftd) serves many callers
+	// concurrently, and the operator's parallelism setting must cap the
+	// process, not each request. Every simulation site acquires a slot.
+	sem chan struct{}
+
+	// flight deduplicates concurrent computations of one cell across
+	// RunAll calls; simulated/deduped feed Stats.
+	flight    store.Flight[RunResult]
+	simulated atomic.Int64
+	deduped   atomic.Int64
 }
 
 // NewEngine returns an engine with the given worker-pool bound
-// (0 = runtime.GOMAXPROCS, 1 = serial) and optional memoization cache
-// (nil = none).
-func NewEngine(parallelism int, cache *ResultCache) *Engine {
-	return &Engine{opts: exp.Options{Parallelism: parallelism}, cache: cache}
+// (0 = runtime.GOMAXPROCS, 1 = serial) and optional result store
+// (nil = none; every cell is simulated). The bound caps concurrent
+// simulations across all callers of the engine combined.
+func NewEngine(parallelism int, rs ResultStore) *Engine {
+	p := parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		opts:  exp.Options{Parallelism: parallelism},
+		store: rs,
+		sem:   make(chan struct{}, p),
+	}
+}
+
+// simulate runs one cell's simulation under the engine-wide
+// concurrency bound and counts it.
+func (e *Engine) simulate(cfg Config) (RunResult, error) {
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+	e.simulated.Add(1)
+	return Run(cfg)
 }
 
 // engine builds the driver-facing engine from experiment options.
-func (o Options) engine() *Engine { return NewEngine(o.Parallelism, o.Cache) }
+func (o Options) engine() *Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return NewEngine(o.Parallelism, o.Cache)
+}
+
+// EngineStats is a point-in-time snapshot of an engine's work counters,
+// exposed by shiftd's /v1/stats.
+type EngineStats struct {
+	// StoreHits and StoreMisses are the attached store's cumulative
+	// lookup counts (zero when no store is attached).
+	StoreHits, StoreMisses int64
+	// StoreCells is the number of results currently stored.
+	StoreCells int
+	// Simulated counts cells this engine actually simulated.
+	Simulated int64
+	// Deduped counts cells served by waiting on a concurrent in-flight
+	// simulation instead of re-running it.
+	Deduped int64
+	// Inflight is the number of cells being simulated right now.
+	Inflight int
+}
+
+// Stats returns a snapshot of the engine's counters. Safe to call
+// concurrently with RunAll.
+func (e *Engine) Stats() EngineStats {
+	s := EngineStats{
+		Simulated: e.simulated.Load(),
+		Deduped:   e.deduped.Load(),
+		Inflight:  e.flight.Len(),
+	}
+	if e.store != nil {
+		s.StoreHits, s.StoreMisses = e.store.Stats()
+		s.StoreCells = e.store.Len()
+	}
+	return s
+}
+
+// lookup consults the attached store, tolerating both a nil interface
+// and a nil concrete store.
+func (e *Engine) lookup(key string) (RunResult, bool) {
+	if e.store == nil {
+		return RunResult{}, false
+	}
+	return e.store.Lookup(key)
+}
 
 // RunAll executes every cell and returns the results in cell order:
 // out[i] is cells[i]'s result. Duplicate configurations within the grid
-// are simulated once and fanned out; cached cells are not re-simulated.
-// On failure RunAll returns the error of the lowest-index failing cell,
-// annotated with its label.
+// are simulated once and fanned out; cells present in the store are not
+// re-simulated; cells already being simulated by a concurrent RunAll
+// are waited on, not recomputed. On failure RunAll returns the error of
+// the lowest-index failing cell, annotated with its label.
 func (e *Engine) RunAll(cells []Cell) ([]RunResult, error) {
 	keys := make([]string, len(cells))
 	byKey := make(map[string]RunResult, len(cells))
 	seen := make(map[string]bool, len(cells))
-	var pending []int // first-occurrence index of each unique uncached config
+	// Partition first occurrences of unique uncached configs into cells
+	// this call owns (it will simulate them and publish the results) and
+	// cells owned by a concurrent RunAll (it will wait for theirs).
+	type waiter struct {
+		idx  int
+		call *store.Call[RunResult]
+	}
+	var owned []int
+	var ownedCalls []*store.Call[RunResult]
+	var waits []waiter
 	for i := range cells {
 		k := cells[i].Config.Key()
 		keys[i] = k
@@ -65,30 +172,93 @@ func (e *Engine) RunAll(cells []Cell) ([]RunResult, error) {
 			continue
 		}
 		seen[k] = true
-		if r, ok := e.cache.lookup(k); ok {
+		if r, ok := e.lookup(k); ok {
 			byKey[k] = r
 			continue
 		}
-		pending = append(pending, i)
-	}
-
-	computed, err := exp.Map(e.opts, len(pending), func(j int) (RunResult, error) {
-		c := cells[pending[j]]
-		r, err := Run(c.Config)
-		if err != nil {
-			return RunResult{}, fmt.Errorf("cell %s: %w", c.Label, err)
+		c, owner := e.flight.Claim(k)
+		if owner {
+			owned = append(owned, i)
+			ownedCalls = append(ownedCalls, c)
+		} else {
+			waits = append(waits, waiter{i, c})
+			e.deduped.Add(1)
 		}
-		return r, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	for j, r := range computed {
-		k := keys[pending[j]]
-		byKey[k] = r
-		e.cache.store(k, r)
 	}
 
+	// Simulate the owned cells. Each result is stored and published to
+	// concurrent waiters the moment it completes, inside the worker —
+	// not after the barrier — so waiters never outlive the work they
+	// wait on.
+	ownedErrs := make([]error, len(owned))
+	computed, mapErr := exp.Map(e.opts, len(owned), func(j int) (RunResult, error) {
+		c := cells[owned[j]]
+		r, err := e.simulate(c.Config)
+		if err != nil {
+			err = fmt.Errorf("cell %s: %w", c.Label, err)
+			ownedErrs[j] = err
+		} else if e.store != nil {
+			e.store.Store(keys[owned[j]], r)
+		}
+		e.flight.Resolve(keys[owned[j]], ownedCalls[j], r, err)
+		return r, err
+	})
+	// On failure exp.Map skips cells above the lowest failing index;
+	// their claims must still be resolved or concurrent waiters would
+	// hang. exp.Map has quiesced, so an unresolved call here can no
+	// longer race with its worker.
+	if mapErr != nil {
+		for j, c := range ownedCalls {
+			select {
+			case <-c.Done():
+			default:
+				e.flight.Resolve(keys[owned[j]], c, RunResult{}, errCellSkipped)
+			}
+		}
+	}
+
+	// Collect results simulated by concurrent RunAll calls. A waiter
+	// whose owner abandoned the cell (errCellSkipped) computes it
+	// itself — another caller's bad grid must not fail this one.
+	waitErrs := make([]error, len(waits))
+	for wi, w := range waits {
+		r, err := w.call.Wait()
+		if errors.Is(err, errCellSkipped) {
+			r, err = e.runShared(keys[w.idx], cells[w.idx])
+		}
+		if err != nil {
+			waitErrs[wi] = err
+			continue
+		}
+		byKey[keys[w.idx]] = r
+	}
+
+	// Surface the error of the lowest-index failing cell — exactly the
+	// error a serial loop would have stopped on, whether the cell was
+	// simulated here or by a concurrent caller.
+	failIdx, failErr := len(cells), error(nil)
+	for j, err := range ownedErrs {
+		if err != nil && owned[j] < failIdx {
+			failIdx, failErr = owned[j], err
+		}
+	}
+	for wi, err := range waitErrs {
+		if err != nil && waits[wi].idx < failIdx {
+			failIdx, failErr = waits[wi].idx, err
+		}
+	}
+	if failErr != nil {
+		return nil, failErr
+	}
+	if mapErr != nil {
+		// A failure with no per-cell record (cannot happen today, but
+		// never mask an error).
+		return nil, mapErr
+	}
+
+	for j := range owned {
+		byKey[keys[owned[j]]] = computed[j]
+	}
 	out := make([]RunResult, len(cells))
 	for i := range cells {
 		out[i] = byKey[keys[i]]
@@ -96,8 +266,36 @@ func (e *Engine) RunAll(cells []Cell) ([]RunResult, error) {
 	return out, nil
 }
 
+// runShared computes one cell through the store and the in-flight
+// table: store hit, wait on a live owner, or simulate here. It loops on
+// errCellSkipped so a chain of abandoned claims cannot starve the
+// caller — eventually it either finds a result or owns the claim.
+func (e *Engine) runShared(key string, c Cell) (RunResult, error) {
+	for {
+		if r, ok := e.lookup(key); ok {
+			return r, nil
+		}
+		call, owner := e.flight.Claim(key)
+		if !owner {
+			r, err := call.Wait()
+			if errors.Is(err, errCellSkipped) {
+				continue
+			}
+			return r, err
+		}
+		r, err := e.simulate(c.Config)
+		if err != nil {
+			err = fmt.Errorf("cell %s: %w", c.Label, err)
+		} else if e.store != nil {
+			e.store.Store(key, r)
+		}
+		e.flight.Resolve(key, call, r, err)
+		return r, err
+	}
+}
+
 // RunOne executes a single configuration through the engine (hitting
-// the memo cache when one is attached).
+// the result store when one is attached).
 func (e *Engine) RunOne(cfg Config) (RunResult, error) {
 	res, err := e.RunAll([]Cell{cell(cfg)})
 	if err != nil {

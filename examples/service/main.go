@@ -1,0 +1,82 @@
+// Service: drive a running shiftd instance from Go — the minimal HTTP
+// client for the /v1 API. Start the server first:
+//
+//	go run ./cmd/shiftd -quick
+//
+// then run this client. It checks /v1/healthz, runs a baseline and a
+// SHIFT cell through POST /v1/run, prints the speedup, and shows the
+// server-side cache counters from /v1/stats — run it twice and the
+// second pass is served entirely from the server's store.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"shift"
+)
+
+// runCell posts one cell to /v1/run and returns the decoded result.
+func runCell(client *http.Client, base, workload, design string) (shift.RunResult, error) {
+	body, err := json.Marshal(map[string]string{"workload": workload, "design": design})
+	if err != nil {
+		return shift.RunResult{}, err
+	}
+	resp, err := client.Post(base+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return shift.RunResult{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return shift.RunResult{}, fmt.Errorf("POST /v1/run: %s: %s", resp.Status, msg)
+	}
+	var reply struct {
+		Key    string          `json:"key"`
+		Result shift.RunResult `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return shift.RunResult{}, err
+	}
+	fmt.Printf("  %-9s key=%s throughput=%.2f\n", design, reply.Key, reply.Result.Throughput)
+	return reply.Result, nil
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "shiftd base URL")
+	workload := flag.String("workload", "OLTP Oracle", "Table I workload")
+	flag.Parse()
+	client := &http.Client{Timeout: 10 * time.Minute}
+
+	resp, err := client.Get(*addr + "/v1/healthz")
+	if err != nil {
+		log.Fatalf("is shiftd running? (go run ./cmd/shiftd -quick): %v", err)
+	}
+	resp.Body.Close()
+
+	fmt.Printf("running %s on %s:\n", *workload, *addr)
+	base, err := runCell(client, *addr, *workload, "Baseline")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := runCell(client, *addr, *workload, "SHIFT")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SHIFT speedup: %.2fx\n\n", res.Throughput/base.Throughput)
+
+	stats, err := client.Get(*addr + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stats.Body.Close()
+	fmt.Println("server stats:")
+	io.Copy(os.Stdout, stats.Body)
+}

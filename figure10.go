@@ -29,9 +29,11 @@ type Figure10 struct {
 	// (throughput of that group's cores over the baseline run).
 	Speedup map[string]map[string]float64
 	// Geo[design] is the geometric mean across groups.
-	Geo       map[string]float64
+	Geo map[string]float64
+	// Workloads is the outer grid axis, in rendering order.
 	Workloads []string
-	Designs   []Design
+	// Designs is the inner grid axis, in rendering order.
+	Designs []Design
 }
 
 // RunFigure10 regenerates Figure 10. Cores are split evenly across the

@@ -16,7 +16,8 @@ type Figure3 struct {
 	// Commonality[workload] is the percentage of accesses inside common
 	// temporal streams.
 	Commonality map[string]float64
-	Workloads   []string
+	// Workloads is the bar axis, in rendering order.
+	Workloads []string
 }
 
 // RunFigure3 regenerates Figure 3 using prediction-only simulation with

@@ -19,7 +19,8 @@ type Figure6 struct {
 	Sizes []int
 	// SHIFT[i] and PIF[i] are mean miss-coverage percentages at Sizes[i].
 	SHIFT, PIF []float64
-	Workloads  []string
+	// Workloads are the workloads averaged into each point.
+	Workloads []string
 }
 
 // DefaultFigure6Sizes mirrors the paper's x-axis (1K..512K). The largest

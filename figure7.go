@@ -11,11 +11,12 @@ import (
 // uncovered, and overpredicted by a design, as percentages of the
 // baseline (no-prefetch) miss count.
 type CoverageRow struct {
-	Workload      string
-	Design        string
-	Covered       float64
-	Uncovered     float64
-	Overpredicted float64
+	// Workload and Design identify the bar group.
+	Workload, Design string
+	// Covered/Uncovered/Overpredicted are percentages of the baseline
+	// miss count: misses eliminated by a prefetch, misses remaining,
+	// and prefetches issued for blocks never demanded.
+	Covered, Uncovered, Overpredicted float64
 }
 
 // Figure7 reproduces the paper's Figure 7: covered/uncovered/
@@ -24,9 +25,13 @@ type CoverageRow struct {
 // reports, on average: SHIFT 81% covered / 16% overpredicted; PIF_32K
 // 92% / 13%; PIF_2K 53% / 20%.
 type Figure7 struct {
-	Rows      []CoverageRow
+	// Rows holds one entry per (workload, design), in Workloads-major
+	// order.
+	Rows []CoverageRow
+	// Workloads is the outer grid axis, in rendering order.
 	Workloads []string
-	Designs   []Design
+	// Designs is the inner grid axis, in rendering order.
+	Designs []Design
 }
 
 // RunFigure7 regenerates Figure 7 with real prefetching (cache

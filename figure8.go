@@ -15,9 +15,11 @@ type Figure8 struct {
 	// Speedup[workload][design] is the speedup over baseline.
 	Speedup map[string]map[string]float64
 	// Geo[design] is the geometric-mean speedup.
-	Geo       map[string]float64
+	Geo map[string]float64
+	// Workloads is the outer grid axis, in rendering order.
 	Workloads []string
-	Designs   []Design
+	// Designs is the inner grid axis, in rendering order.
+	Designs []Design
 }
 
 // RunFigure8 regenerates Figure 8.

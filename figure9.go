@@ -11,6 +11,7 @@ import (
 // percentages of the baseline system's demand (instruction + data) LLC
 // traffic.
 type TrafficRow struct {
+	// Workload names the row.
 	Workload string
 	// LogRead/LogWrite are history-buffer reads and writes; Discard is
 	// traffic for prefetched blocks discarded before use. IndexUpdate is
@@ -29,7 +30,9 @@ func (r TrafficRow) Total() float64 { return r.LogRead + r.LogWrite + r.Discard 
 // frontend the worst case (~26% total), and index updates at 2.5%
 // (tag array only).
 type Figure9 struct {
-	Rows      []TrafficRow
+	// Rows holds one entry per workload, in Workloads order.
+	Rows []TrafficRow
+	// Workloads is the row axis, in rendering order.
 	Workloads []string
 }
 

@@ -14,9 +14,12 @@ import (
 // GeneratorPoint is one choice of history generator core and the coverage
 // and speedup SHIFT achieves with it.
 type GeneratorPoint struct {
+	// GeneratorCore is the core elected to record the shared history.
 	GeneratorCore int
-	Speedup       float64
-	Covered       float64 // fraction of baseline misses eliminated
+	// Speedup is over the no-prefetch baseline.
+	Speedup float64
+	// Covered is the fraction of baseline misses eliminated.
+	Covered float64
 }
 
 // GeneratorStudy reproduces the paper's Section 6.1 claim: "in a
@@ -25,8 +28,10 @@ type GeneratorPoint struct {
 // execute statistically identical streams, so any of them can record the
 // shared history.
 type GeneratorStudy struct {
+	// Workload is the measured workload (the first of o.Workloads).
 	Workload string
-	Points   []GeneratorPoint
+	// Points holds one entry per evaluated generator-core choice.
+	Points []GeneratorPoint
 	// Spread is (max-min)/mean speedup across generator choices.
 	Spread float64
 }

@@ -1,0 +1,28 @@
+// Package store provides the content-addressed blob backends beneath
+// the public ResultStore implementations in the root shift package, plus
+// the single-flight primitive the experiment engine uses to share one
+// simulation across concurrent identical requests.
+//
+// A blob store maps a content-address key (in practice Config.Key(), a
+// hex hash of the simulation configuration) to an opaque byte blob (in
+// practice the JSON encoding of a RunResult). The store layer knows
+// nothing about the blob contents; encoding lives with the caller. Two
+// backends are provided: Mem, the reference in-memory implementation,
+// and Disk, a directory of one file per key whose writes are atomic
+// (temp file + rename) so that concurrent processes sharing a directory
+// never observe a partial blob.
+package store
+
+// A Blobs is a content-addressed blob store: an opaque byte blob per
+// key. Implementations must be safe for concurrent use; Get and Put on
+// the same key may race, in which case Get returns either the previous
+// complete blob or the new complete blob, never a mixture.
+type Blobs interface {
+	// Get returns the blob stored under key, or found=false if the key
+	// is absent. The returned slice is owned by the caller.
+	Get(key string) (blob []byte, found bool, err error)
+	// Put stores blob under key, replacing any previous blob atomically.
+	Put(key string, blob []byte) error
+	// Len returns the number of stored blobs.
+	Len() (int, error)
+}

@@ -28,8 +28,16 @@ type Options struct {
 	// Cache, when non-nil, memoizes per-cell results content-addressed
 	// by Config hash, so repeated sweeps — and experiments sharing
 	// cells, such as the per-workload baselines — skip already-computed
-	// simulations. Memoization never changes results.
-	Cache *ResultCache
+	// simulations. Memoization never changes results. Any ResultStore
+	// backend works: NewResultCache() for in-process reuse,
+	// NewTieredStore(dir) to persist cells across process restarts.
+	Cache ResultStore
+	// Engine, when non-nil, submits every cell to this shared engine
+	// instead of constructing one from Parallelism and Cache — sharing
+	// its store and its in-flight deduplication across concurrent
+	// drivers (how the shiftd service serves many clients from one
+	// engine). Parallelism and Cache are ignored when Engine is set.
+	Engine *Engine
 }
 
 // DefaultOptions returns the reference experiment scale (a full figure

@@ -11,8 +11,8 @@ import (
 // PDPoint is one performance-density design point: a prefetcher on a core
 // type, with performance and area relative to the prefetcher-less core.
 type PDPoint struct {
-	CoreType string
-	Design   string
+	// CoreType and Design identify the point.
+	CoreType, Design string
 	// RelPerf is geometric-mean speedup over the baseline core.
 	RelPerf float64
 	// RelArea is (core + prefetcher)/core area.
@@ -29,6 +29,7 @@ type PDPoint struct {
 // SHIFT improves PD over PIF_32K by 2% (Fat-OoO), 16% (Lean-OoO), and
 // 59% (Lean-IO), and PIF actively loses PD on the Lean-IO core.
 type PerfDensity struct {
+	// Points holds one entry per (core type, design), core-type-major.
 	Points []PDPoint
 }
 

@@ -10,6 +10,7 @@ import (
 
 // PowerRow is one workload's SHIFT power overhead estimate.
 type PowerRow struct {
+	// Workload names the row.
 	Workload string
 	// ExtraMW is the CMP-wide extra power from history and index
 	// activity in the LLC and NoC, in milliwatts.
@@ -24,6 +25,7 @@ type PowerRow struct {
 // LLC, estimated with the CACTI-calibrated energy model. The paper
 // reports less than 150mW total on the 16-core CMP.
 type PowerStudy struct {
+	// Rows holds one entry per workload.
 	Rows []PowerRow
 	// MaxMW is the worst-case workload's overhead.
 	MaxMW float64

@@ -16,10 +16,11 @@ import (
 type SensitivityPoint struct {
 	// Parameter names the swept knob; Value is its setting.
 	Parameter string
-	Value     int
-	// Speedup is over the no-prefetch baseline; Coverage is the fraction
-	// of baseline misses eliminated.
-	Speedup  float64
+	// Value is the swept parameter's setting at this point.
+	Value int
+	// Speedup is over the no-prefetch baseline.
+	Speedup float64
+	// Coverage is the fraction of baseline misses eliminated.
 	Coverage float64
 }
 
@@ -29,7 +30,9 @@ type SensitivityPoint struct {
 // performance"; results were omitted from the paper for space). It also
 // sweeps the stream count, which Section 4.1 fixes at four.
 type Sensitivity struct {
-	Points   []SensitivityPoint
+	// Points holds every swept configuration, parameter-major.
+	Points []SensitivityPoint
+	// Workload is the measured workload (the first of o.Workloads).
 	Workload string
 }
 

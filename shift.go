@@ -46,6 +46,27 @@
 //	results, err := e.RunAll(cells) // results[i] belongs to cells[i]
 //
 // cmd/shiftsim exposes the engine as -parallel and -cache flags.
+//
+// # Result stores and serving
+//
+// The engine's storage is pluggable (ResultStore): NewResultCache
+// keeps results in memory, NewDiskStore persists one JSON blob per
+// cell under a content-addressed directory (atomic writes; safe to
+// share between processes), and NewTieredStore layers the two — so a
+// sweep repeated across process restarts simulates nothing
+// (cmd/shiftsim -cache-dir):
+//
+//	st, err := shift.NewTieredStore("~/.shiftcache")
+//	o.Cache = st // every figure cell now survives this process
+//
+// The engine is safe for concurrent use and deduplicates identical
+// in-flight cells across callers, which is what cmd/shiftd builds on:
+// a long-running HTTP service holding one engine and one tiered store,
+// serving single cells (POST /v1/run), grids (POST /v1/grid), and
+// whole figures (GET /v1/figures/{n}) to many clients while paying for
+// each unique simulation once. RunExperiment is the shared by-name
+// dispatch behind both binaries, so served figures are byte-identical
+// to CLI output. See ARCHITECTURE.md for the full tour.
 package shift
 
 import (
@@ -255,13 +276,20 @@ func (c Config) spec() (sim.RunSpec, error) {
 // (message counts; Hops fields accumulate round-trip hop counts for the
 // power model).
 type TrafficCounts struct {
-	DemandInstr, DemandData     int64
-	PrefetchFill                int64
-	HistRead, HistWrite         int64
-	IndexUpdate                 int64
-	Discard                     int64
-	HistReadHops, HistWriteHops int64
-	IndexUpdateHops             int64
+	// DemandInstr and DemandData are demand instruction and data
+	// messages (the Figure 9 normalization base).
+	DemandInstr, DemandData int64
+	// PrefetchFill counts prefetched-block fills into the buffers.
+	PrefetchFill int64
+	// HistRead and HistWrite are shared-history log reads and writes.
+	HistRead, HistWrite int64
+	// IndexUpdate counts index writes (LLC tag array only).
+	IndexUpdate int64
+	// Discard counts prefetched blocks evicted before use.
+	Discard int64
+	// HistReadHops/HistWriteHops/IndexUpdateHops accumulate round-trip
+	// mesh hop counts for the power model.
+	HistReadHops, HistWriteHops, IndexUpdateHops int64
 }
 
 // Demand returns the demand traffic (instruction + data), the Figure 9

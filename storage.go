@@ -12,11 +12,12 @@ import (
 	"shift/internal/stats"
 )
 
-// This file holds the two storage concerns of the package: the
-// analytical storage-cost report of the paper's Sections 4.2/5.1/5.6/
-// 6.2 (StorageReport, below), and the experiment engine's result
-// storage — content-addressed memoization of simulation results
-// (Config.Key, ResultCache), consumed by Engine.RunAll in engine.go.
+// This file holds the analytical storage-cost report of the paper's
+// Sections 4.2/5.1/5.6/6.2 (StorageReport, below), plus the
+// content-address scheme (Config.Key) and in-memory backend
+// (ResultCache) of the engine's result storage. The ResultStore
+// interface and its persistent backends (DiskStore, TieredStore) live
+// in store.go; Engine.RunAll in engine.go consumes them.
 
 // Key returns a stable content hash of the configuration. Two Configs
 // share a key iff they describe the same simulation, so the key
@@ -31,10 +32,12 @@ func (c Config) Key() string {
 	return hex.EncodeToString(h[:16])
 }
 
-// ResultCache memoizes simulation results content-addressed by Config
-// key, so repeated sweeps skip already-computed cells. It is safe for
+// ResultCache is the in-memory ResultStore: a mutex-guarded map of
+// memoized simulation results content-addressed by Config key, so
+// repeated sweeps skip already-computed cells. It is safe for
 // concurrent use by the engine's workers; a nil *ResultCache is a valid
-// no-op cache.
+// no-op store (every Lookup misses, Store discards). Contents die with
+// the process — use DiskStore or TieredStore to persist across runs.
 type ResultCache struct {
 	mu           sync.Mutex
 	m            map[string]RunResult
@@ -48,8 +51,9 @@ func NewResultCache() *ResultCache {
 	return &ResultCache{m: make(map[string]RunResult)}
 }
 
-// lookup returns the memoized result for key, if any.
-func (c *ResultCache) lookup(key string) (RunResult, bool) {
+// Lookup returns the memoized result for key, if any, and counts the
+// outcome toward Stats.
+func (c *ResultCache) Lookup(key string) (RunResult, bool) {
 	if c == nil {
 		return RunResult{}, false
 	}
@@ -64,8 +68,8 @@ func (c *ResultCache) lookup(key string) (RunResult, bool) {
 	return r, ok
 }
 
-// store memoizes a result under key.
-func (c *ResultCache) store(key string, r RunResult) {
+// Store memoizes a result under key, replacing any previous entry.
+func (c *ResultCache) Store(key string, r RunResult) {
 	if c == nil {
 		return
 	}
@@ -108,7 +112,8 @@ type StorageReport struct {
 	PIF2KPerCoreKB float64
 	// SHIFTHistoryKB is the LLC capacity the shared history occupies
 	// (171KB; 2,731 lines).
-	SHIFTHistoryKB    float64
+	SHIFTHistoryKB float64
+	// SHIFTHistoryLines is that capacity in 64-byte LLC lines.
 	SHIFTHistoryLines int
 	// SHIFTIndexKB is the LLC tag-array extension (240KB).
 	SHIFTIndexKB float64

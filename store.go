@@ -1,0 +1,225 @@
+package shift
+
+import (
+	"encoding/json"
+	"sync/atomic"
+
+	"shift/internal/store"
+)
+
+// This file defines the result-storage subsystem consumed by the
+// experiment engine: the ResultStore interface and its two persistent
+// backends, DiskStore (one JSON blob per Config.Key under a
+// content-addressed directory) and TieredStore (ResultCache over
+// DiskStore). The in-memory backend, ResultCache, predates the
+// interface and lives in storage.go.
+
+// ResultStore persists simulation results content-addressed by
+// Config.Key. The engine treats a store strictly as a memo table:
+// because the simulator is a pure function of its Config, a stored
+// RunResult is bit-identical to re-running the cell, so serving from
+// the store never changes experiment output — only how fast it arrives.
+//
+// Implementations must be safe for concurrent use by the engine's
+// workers, and must degrade softly: a backend failure (unreadable file,
+// full disk) is reported as a miss or a dropped write, never an
+// experiment error. Three backends are provided: ResultCache (memory,
+// dies with the process), DiskStore (survives restarts, shareable
+// between processes), and TieredStore (memory speed over disk
+// durability — the default for anything long-running).
+type ResultStore interface {
+	// Lookup returns the stored result for key, if any.
+	Lookup(key string) (RunResult, bool)
+	// Store persists a result under key, replacing any previous entry.
+	Store(key string, r RunResult)
+	// Len returns the number of stored cells.
+	Len() int
+	// Stats returns the cumulative Lookup hit/miss counts.
+	Stats() (hits, misses int64)
+}
+
+// DiskStore is the disk-backed ResultStore: one JSON-encoded RunResult
+// per Config.Key under a content-addressed directory
+// (<dir>/<key[:2]>/<key>.json). Writes are atomic (temp file + rename),
+// so any number of processes may share one directory — concurrent
+// writers of the same cell write identical bytes, and readers never
+// observe a torn blob; a crash mid-write leaves only an invisible
+// temporary file. JSON keeps blobs greppable and editor-friendly, and
+// round-trips every RunResult field exactly (encoding/json emits the
+// shortest float64 representation that parses back to the same bits).
+//
+// A nil *DiskStore is a valid no-op store. IO and decode failures are
+// absorbed as misses or dropped writes and counted by Errors.
+type DiskStore struct {
+	blobs                *store.Disk
+	hits, misses, errors atomic.Int64
+}
+
+// NewDiskStore opens (creating if necessary) a disk store rooted at
+// dir.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	blobs, err := store.OpenDisk(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &DiskStore{blobs: blobs}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.blobs.Dir()
+}
+
+// Lookup reads and decodes the result stored under key. An unreadable
+// or undecodable blob counts as a miss (and toward Errors).
+func (s *DiskStore) Lookup(key string) (RunResult, bool) {
+	if s == nil {
+		return RunResult{}, false
+	}
+	blob, ok, err := s.blobs.Get(key)
+	if err != nil {
+		s.errors.Add(1)
+	}
+	if err != nil || !ok {
+		s.misses.Add(1)
+		return RunResult{}, false
+	}
+	var r RunResult
+	if err := json.Unmarshal(blob, &r); err != nil {
+		s.errors.Add(1)
+		s.misses.Add(1)
+		return RunResult{}, false
+	}
+	s.hits.Add(1)
+	return r, true
+}
+
+// Store atomically writes the result under key. A write failure is
+// dropped (and counted by Errors): the store is a cache, not a ledger.
+func (s *DiskStore) Store(key string, r RunResult) {
+	if s == nil {
+		return
+	}
+	blob, err := json.Marshal(r)
+	if err == nil {
+		err = s.blobs.Put(key, blob)
+	}
+	if err != nil {
+		s.errors.Add(1)
+	}
+}
+
+// Len returns the number of cells this handle has observed: those on
+// disk at open plus its own writes (cheap; no directory walk).
+func (s *DiskStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	n, err := s.blobs.Len()
+	if err != nil {
+		s.errors.Add(1)
+		return 0
+	}
+	return n
+}
+
+// Stats returns the cumulative Lookup hit/miss counts.
+func (s *DiskStore) Stats() (hits, misses int64) {
+	if s == nil {
+		return 0, 0
+	}
+	return s.hits.Load(), s.misses.Load()
+}
+
+// Errors returns the number of absorbed backend failures (IO or decode)
+// since creation. A healthy store reports zero; a growing count means
+// results are being silently recomputed — check the directory.
+func (s *DiskStore) Errors() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.errors.Load()
+}
+
+// TieredStore layers an in-memory ResultCache over a DiskStore: Lookup
+// tries memory first and promotes disk hits into memory, Store writes
+// through to both. It serves hot cells at map speed while every result
+// survives process restarts — the backend behind `shiftsim -cache-dir`
+// and the shiftd service. A nil *TieredStore is a valid no-op store.
+type TieredStore struct {
+	mem  *ResultCache
+	disk *DiskStore
+}
+
+// NewTieredStore opens (creating if necessary) a tiered store whose
+// disk layer is rooted at dir.
+func NewTieredStore(dir string) (*TieredStore, error) {
+	disk, err := NewDiskStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &TieredStore{mem: NewResultCache(), disk: disk}, nil
+}
+
+// Lookup returns the result for key from the memory tier, falling back
+// to disk (promoting a disk hit into memory for next time).
+func (s *TieredStore) Lookup(key string) (RunResult, bool) {
+	if s == nil {
+		return RunResult{}, false
+	}
+	if r, ok := s.mem.Lookup(key); ok {
+		return r, true
+	}
+	r, ok := s.disk.Lookup(key)
+	if ok {
+		s.mem.Store(key, r)
+	}
+	return r, ok
+}
+
+// Store writes the result through to both tiers.
+func (s *TieredStore) Store(key string, r RunResult) {
+	if s == nil {
+		return
+	}
+	s.mem.Store(key, r)
+	s.disk.Store(key, r)
+}
+
+// Len returns the number of stored cells: the disk tier's count, which
+// is authoritative (memory holds a subset), unless disk writes have
+// failed, in which case the memory tier may be larger.
+func (s *TieredStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	n := s.disk.Len()
+	if m := s.mem.Len(); m > n {
+		n = m
+	}
+	return n
+}
+
+// Stats returns the tiered hit/miss counts: a hit in either tier is a
+// hit, a miss means both tiers missed. (Memory-tier promotions are not
+// double-counted: disk hits and memory hits are disjoint lookups.)
+func (s *TieredStore) Stats() (hits, misses int64) {
+	if s == nil {
+		return 0, 0
+	}
+	memHits, _ := s.mem.Stats()
+	diskHits, diskMisses := s.disk.Stats()
+	return memHits + diskHits, diskMisses
+}
+
+// Errors returns the disk tier's absorbed-failure count (see
+// DiskStore.Errors).
+func (s *TieredStore) Errors() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.disk.Errors()
+}
