@@ -1,0 +1,42 @@
+package shift
+
+import (
+	"fmt"
+
+	"shift/internal/sim"
+)
+
+// RunBatch executes several configurations that share one trace stream
+// (equal StreamKeys — same workload, core count, and warmup/measure
+// window) in a single pass: the per-core record streams are generated
+// once and fanned out to every member's system in lockstep, and the
+// design-independent per-record work (trace generation, branch
+// prediction) is paid once per record instead of once per member per
+// record. Each member observes exactly the per-core record order of a
+// standalone Run, so out[i] is bit-identical to Run(cfgs[i]).
+//
+// Configurations whose StreamKeys differ are rejected. The experiment
+// engine calls this automatically for grid cells sharing a stream;
+// call it directly when running a hand-built design comparison.
+func RunBatch(cfgs []Config) ([]RunResult, error) {
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
+	specs := make([]sim.RunSpec, len(cfgs))
+	for i := range cfgs {
+		spec, err := cfgs[i].spec()
+		if err != nil {
+			return nil, fmt.Errorf("shift: batch config %d: %w", i, err)
+		}
+		specs[i] = spec
+	}
+	rs, err := sim.RunBatch(specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RunResult, len(rs))
+	for i := range rs {
+		out[i] = fromSim(rs[i], cfgs[i].Workload)
+	}
+	return out, nil
+}

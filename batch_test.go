@@ -1,0 +1,215 @@
+package shift
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestStreamKey pins the stream partition: designs, seeds, modes, and
+// history sizes share a stream; workloads, core counts, and window
+// lengths split it. Zero and default window/core values must coincide
+// (the key normalizes exactly like Config.spec).
+func TestStreamKey(t *testing.T) {
+	base := DefaultRunConfig("Web Search", DesignSHIFT)
+	same := []func(*Config){
+		func(c *Config) { c.Design = DesignBaseline },
+		func(c *Config) { c.Seed = 99 },
+		func(c *Config) { c.CoreType = LeanIO },
+		func(c *Config) { c.HistEntries = 2048 },
+		func(c *Config) { c.PredictionOnly = true },
+		func(c *Config) { c.CommonalityMode = true },
+		func(c *Config) { c.ElimProb = 0.5 },
+	}
+	for i, mut := range same {
+		c := base
+		mut(&c)
+		if c.StreamKey() != base.StreamKey() {
+			t.Errorf("stream-preserving mutation %d changed the key", i)
+		}
+	}
+	diff := []func(*Config){
+		func(c *Config) { c.Workload = "OLTP Oracle" },
+		func(c *Config) { c.Cores = 8 },
+		func(c *Config) { c.WarmupRecords = 1000 },
+		func(c *Config) { c.MeasureRecords = 1000 },
+	}
+	for i, mut := range diff {
+		c := base
+		mut(&c)
+		if c.StreamKey() == base.StreamKey() {
+			t.Errorf("stream-changing mutation %d kept the key", i)
+		}
+	}
+	// Defaults: zero values normalize to the explicit defaults.
+	zero := Config{Workload: "Web Search", Design: DesignSHIFT}
+	if zero.StreamKey() != base.StreamKey() {
+		t.Error("zero-value windows do not normalize to the default stream key")
+	}
+}
+
+// TestRunBatchMatchesRun is the public batched ≡ unbatched
+// differential: one batch holding every design point of a workload must
+// return results bit-identical to per-cell Run.
+func TestRunBatchMatchesRun(t *testing.T) {
+	o := engineTestOptions()
+	designs := []Design{DesignBaseline, DesignNextLine, DesignPIF2K, DesignPIF32K,
+		DesignZeroLatSHIFT, DesignSHIFT, DesignTIFS}
+	cfgs := make([]Config, len(designs))
+	for i, d := range designs {
+		cfgs[i] = o.config("Web Search", d)
+	}
+	batched, err := RunBatch(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		solo, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batched[i], solo) {
+			t.Errorf("%s: batched result differs from Run", designs[i])
+		}
+	}
+}
+
+// TestRunBatchRejectsMixedStreams asserts mismatched StreamKeys fail
+// with the offending index named.
+func TestRunBatchRejectsMixedStreams(t *testing.T) {
+	o := engineTestOptions()
+	cfgs := []Config{
+		o.config("Web Search", DesignBaseline),
+		o.config("OLTP Oracle", DesignBaseline),
+	}
+	if _, err := RunBatch(cfgs); err == nil {
+		t.Fatal("mixed-stream batch accepted")
+	} else if !strings.Contains(err.Error(), "1") {
+		t.Errorf("error does not name the mismatched spec: %v", err)
+	}
+	bad := []Config{o.config("Web Search", DesignBaseline), o.config("Web Search", Design(99))}
+	if _, err := RunBatch(bad); err == nil {
+		t.Fatal("unknown design accepted in batch")
+	}
+}
+
+// TestEngineBatchesStreams checks the engine's batch scheduling and its
+// observability: a Figure-7-shaped grid is executed as one batch per
+// workload, the counters record it, and the output matches both the
+// unbatched engine and the parallel batched engine bit for bit.
+func TestEngineBatchesStreams(t *testing.T) {
+	o := engineTestOptions()
+	var cells []Cell
+	for _, w := range o.Workloads {
+		for _, d := range []Design{DesignBaseline, DesignPIF2K, DesignPIF32K, DesignSHIFT} {
+			cells = append(cells, cell(o.config(w, d)))
+		}
+	}
+
+	batchedEng := NewEngine(1, nil)
+	batched, err := batchedEng.RunAll(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := batchedEng.Stats()
+	if st.Batched != int64(len(cells)) {
+		t.Errorf("Batched = %d, want %d", st.Batched, len(cells))
+	}
+	wantShared := int64(len(cells) - len(o.Workloads)) // K-1 per workload batch
+	if st.StreamsShared != wantShared {
+		t.Errorf("StreamsShared = %d, want %d", st.StreamsShared, wantShared)
+	}
+	if st.Simulated != int64(len(cells)) {
+		t.Errorf("Simulated = %d, want %d", st.Simulated, len(cells))
+	}
+
+	unbatchedEng := NewEngine(1, nil)
+	unbatchedEng.noBatch = true
+	unbatched, err := unbatchedEng.RunAll(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batched, unbatched) {
+		t.Error("batched engine output differs from unbatched")
+	}
+	ust := unbatchedEng.Stats()
+	if ust.Batched != 0 || ust.StreamsShared != 0 {
+		t.Errorf("unbatched engine recorded batching: %+v", ust)
+	}
+
+	parallelEng := NewEngine(4, nil)
+	parallel, err := parallelEng.RunAll(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batched, parallel) {
+		t.Error("parallel batched output differs from serial batched")
+	}
+}
+
+// TestOptionsDisableBatching checks the user-facing switch: figure
+// output is identical with batching forced off.
+func TestOptionsDisableBatching(t *testing.T) {
+	on := engineTestOptions()
+	off := engineTestOptions()
+	off.DisableBatching = true
+	a, err := RunFigure7(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFigure7(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("DisableBatching changed Figure 7 output")
+	}
+}
+
+// TestEngineBatchErrorDeterminism places failing cells inside and
+// across would-be batches and checks the lowest-index-cell error
+// contract holds regardless of parallelism or batching.
+func TestEngineBatchErrorDeterminism(t *testing.T) {
+	o := engineTestOptions()
+	badA := o.config("Web Search", Design(99)) // fails spec conversion
+	badB := o.config("Web Search", Design(98))
+	grids := map[string][]Cell{
+		"within batch": {
+			cell(o.config("Web Search", DesignBaseline)),
+			cell(badA),
+			cell(badB),
+			cell(o.config("Web Search", DesignNextLine)),
+		},
+		// The lowest-index failing cell (index 1) lives in the SECOND
+		// batch (stream "OLTP Oracle" first appears at cell 1), while
+		// the first batch fails later at cell 2 — the error selection
+		// must not depend on batch scheduling or parallelism.
+		"across batches": {
+			cell(o.config("Web Search", DesignBaseline)),
+			cell(o.config("OLTP Oracle", Design(97))),
+			cell(badB),
+			cell(o.config("OLTP Oracle", DesignBaseline)),
+		},
+	}
+	for name, cells := range grids {
+		var errs []string
+		for _, par := range []int{1, 4} {
+			e := NewEngine(par, nil)
+			_, err := e.RunAll(cells)
+			if err == nil {
+				t.Fatalf("%s parallelism %d: bad design accepted", name, par)
+			}
+			errs = append(errs, err.Error())
+		}
+		if errs[0] != errs[1] {
+			t.Errorf("%s: error differs by parallelism:\nserial:   %s\nparallel: %s", name, errs[0], errs[1])
+		}
+		want := "Design(99)"
+		if name == "across batches" {
+			want = "Design(97)"
+		}
+		if !strings.Contains(errs[0], want) {
+			t.Errorf("%s: error does not reference the lowest failing cell (%s): %s", name, want, errs[0])
+		}
+	}
+}

@@ -89,10 +89,17 @@ func BenchmarkFigure7(b *testing.B) {
 }
 
 // BenchmarkFigure7Sweep measures the Figure 7 grid on the experiment
-// engine, serial versus a 4-worker pool. The engine merges results by
-// cell, so both variants produce identical numeric output (asserted
-// against the serial run); on hosts with >= 4 CPUs the parallel sweep
-// improves wall-clock by >= 2x (cells are uniform and CPU-bound).
+// engine in three configurations: the default batched serial schedule
+// (all designs of a workload simulated in one pass off a shared
+// stream), the unbatched serial schedule (per-cell execution — the
+// pre-batching baseline, kept for the committed batched-speedup
+// record), and a 4-worker batched pool. The engine merges results by
+// cell and batching shares only design-independent work, so all three
+// produce identical numeric output (asserted against the first run);
+// cmd/benchgate turns serial vs unbatched into the batched-speedup
+// gate and serial vs parallel4 into the parallel-speedup gate (the
+// latter needs >= 4 CPUs to mean anything — the grid holds one batch
+// per workload).
 // Compare with: go test -bench BenchmarkFigure7Sweep -benchtime 3x
 func BenchmarkFigure7Sweep(b *testing.B) {
 	reference, err := RunFigure7(benchOptions())
@@ -100,22 +107,25 @@ func BenchmarkFigure7Sweep(b *testing.B) {
 		b.Fatal(err)
 	}
 	for _, bc := range []struct {
-		name string
-		par  int
+		name    string
+		par     int
+		noBatch bool
 	}{
-		{"serial", 1},
-		{"parallel4", 4},
+		{"serial", 1, false},
+		{"unbatched", 1, true},
+		{"parallel4", 4, false},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			o := benchOptions()
 			o.Parallelism = bc.par
+			o.DisableBatching = bc.noBatch
 			for i := 0; i < b.N; i++ {
 				fig, err := RunFigure7(o)
 				if err != nil {
 					b.Fatal(err)
 				}
 				if !reflect.DeepEqual(fig, reference) {
-					b.Fatalf("parallelism %d changed the numeric output", bc.par)
+					b.Fatalf("case %s changed the numeric output", bc.name)
 				}
 			}
 			b.ReportMetric(reference.MeanCovered(DesignSHIFT), "shift-covered-%")

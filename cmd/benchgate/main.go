@@ -1,13 +1,13 @@
 // Command benchgate turns `go test -bench` output into a committed,
-// machine-readable benchmark record (BENCH_2.json) and gates throughput
-// regressions against it.
+// machine-readable benchmark record (BENCH_4.json) and gates throughput
+// and scheduling regressions against it.
 //
-// Two modes:
+// Modes:
 //
 //	# Record: parse bench output (possibly -count>1) and write the JSON
 //	# record, embedding the pre-optimization baseline for the speedup.
 //	go test -run '^$' -bench 'SimulatorThroughput|Figure7Sweep' -benchtime 3x -count 5 . > bench/current.txt
-//	go run ./cmd/benchgate -new bench/current.txt -baseline-records 812645 -out BENCH_2.json
+//	go run ./cmd/benchgate -new bench/current.txt -baseline-records 812645 -out BENCH_4.json
 //
 //	# Gate against another run on the SAME host (what CI does: the PR's
 //	# base commit and head are benchmarked back to back on one runner,
@@ -16,7 +16,12 @@
 //
 //	# Gate against the committed record (same-host workflows only —
 //	# absolute records/s are not portable across machines):
-//	go run ./cmd/benchgate -new bench_new.txt -gate BENCH_2.json
+//	go run ./cmd/benchgate -new bench_new.txt -gate BENCH_4.json
+//
+//	# Gate the engine's scheduling wins, in-process (host-portable
+//	# ratios, not absolute times). The parallel gate needs real
+//	# hardware parallelism and is loudly skipped below -require-cpus:
+//	go run ./cmd/benchgate -new bench_new.txt -min-batched-speedup 1.10 -min-parallel-speedup 1.3
 //
 // Gates compare best-of-count samples, which suppresses scheduler
 // noise, and fail on a regression larger than -tolerance (default 10%).
@@ -28,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -51,22 +57,34 @@ type Record struct {
 	BaselineRecordsPerSec float64 `json:"baseline_records_per_s,omitempty"`
 	// SpeedupVsBaseline is RecordsPerSec / BaselineRecordsPerSec.
 	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
-	// Figure7SweepSerialNs / Parallel4Ns record the engine-scaling
-	// benchmark (ns/op, best of count).
+	// Figure7SweepSerialNs / UnbatchedNs / Parallel4Ns record the
+	// engine-scheduling benchmark (ns/op, best of count): the default
+	// batched serial schedule, the per-cell (pre-batching) serial
+	// schedule, and the 4-worker batched pool.
 	Figure7SweepSerialNs    float64 `json:"figure7_sweep_serial_ns,omitempty"`
+	Figure7SweepUnbatchedNs float64 `json:"figure7_sweep_unbatched_ns,omitempty"`
 	Figure7SweepParallel4Ns float64 `json:"figure7_sweep_parallel4_ns,omitempty"`
-	// Figure7ParallelSpeedup is serial/parallel4 wall-clock.
+	// Figure7BatchedSpeedup is unbatched/serial wall-clock: the
+	// single-threaded win from simulating every design of a workload in
+	// one pass off a shared trace stream.
+	Figure7BatchedSpeedup float64 `json:"figure7_batched_speedup,omitempty"`
+	// Figure7ParallelSpeedup is serial/parallel4 wall-clock. It is only
+	// meaningful on hosts with >= 4 CPUs; the recording host's CPU
+	// count is in CPUs.
 	Figure7ParallelSpeedup float64 `json:"figure7_parallel_speedup,omitempty"`
+	// CPUs is runtime.NumCPU() on the recording host.
+	CPUs int `json:"cpus,omitempty"`
 }
 
 // parsed is everything benchgate extracts from one bench output file.
 type parsed struct {
-	cpu            string
-	recordsPerSec  []float64
-	allocsPerRec   []float64
-	sweepSerialNs  []float64
-	sweepPar4Ns    []float64
-	throughputName string
+	cpu              string
+	recordsPerSec    []float64
+	allocsPerRec     []float64
+	sweepSerialNs    []float64
+	sweepUnbatchedNs []float64
+	sweepPar4Ns      []float64
+	throughputName   string
 }
 
 // parseBench scans `go test -bench` output. Metric lines look like:
@@ -122,11 +140,15 @@ func parseBench(path string) (*parsed, error) {
 			if v, ok := metric("allocs/record"); ok {
 				p.allocsPerRec = append(p.allocsPerRec, v)
 			}
-		case strings.HasPrefix(name, "BenchmarkFigure7Sweep/serial"):
+		case name == "BenchmarkFigure7Sweep/serial":
 			if v, ok := metric("ns/op"); ok {
 				p.sweepSerialNs = append(p.sweepSerialNs, v)
 			}
-		case strings.HasPrefix(name, "BenchmarkFigure7Sweep/parallel4"):
+		case name == "BenchmarkFigure7Sweep/unbatched":
+			if v, ok := metric("ns/op"); ok {
+				p.sweepUnbatchedNs = append(p.sweepUnbatchedNs, v)
+			}
+		case name == "BenchmarkFigure7Sweep/parallel4":
 			if v, ok := metric("ns/op"); ok {
 				p.sweepPar4Ns = append(p.sweepPar4Ns, v)
 			}
@@ -156,6 +178,9 @@ func main() {
 		gatePath        = flag.String("gate", "", "committed Record JSON to gate against (same-host gate mode)")
 		oldPath         = flag.String("old", "", "bench output of the base/old build to gate against (same-runner gate mode)")
 		tolerance       = flag.Float64("tolerance", 0.10, "allowed fractional throughput regression before failing")
+		minBatched      = flag.Float64("min-batched-speedup", 0, "fail if the in-process batched sweep speedup (unbatched/serial) is below this (0 = no gate)")
+		minParallel     = flag.Float64("min-parallel-speedup", 0, "fail if the in-process parallel sweep speedup (serial/parallel4) is below this (0 = no gate)")
+		requireCPUs     = flag.Int("require-cpus", 4, "minimum runtime.NumCPU() for the parallel-speedup gate; below it the gate is loudly skipped (a 4-worker pool cannot beat serial without hardware parallelism)")
 		printBaseline   = flag.String("print-baseline", "", "print baseline_records_per_s from this Record JSON and exit")
 	)
 	flag.Parse()
@@ -171,8 +196,8 @@ func main() {
 		fmt.Printf("%.0f\n", rec.BaselineRecordsPerSec)
 		return
 	}
-	if *newPath == "" || (*outPath == "" && *gatePath == "" && *oldPath == "") {
-		fmt.Fprintln(os.Stderr, "benchgate: need -new plus -out (record), -old (same-runner gate), or -gate (same-host gate)")
+	if *newPath == "" || (*outPath == "" && *gatePath == "" && *oldPath == "" && *minBatched == 0 && *minParallel == 0) {
+		fmt.Fprintln(os.Stderr, "benchgate: need -new plus -out (record), -old (same-runner gate), -gate (same-host gate), or a -min-*-speedup floor")
 		os.Exit(2)
 	}
 	p, err := parseBench(*newPath)
@@ -189,10 +214,47 @@ func main() {
 		RecordsPerSecSamples: p.recordsPerSec,
 		AllocsPerRecord:      best(p.allocsPerRec, false),
 	}
-	if len(p.sweepSerialNs) > 0 && len(p.sweepPar4Ns) > 0 {
+	rec.CPUs = runtime.NumCPU()
+	if len(p.sweepSerialNs) > 0 {
 		rec.Figure7SweepSerialNs = best(p.sweepSerialNs, false)
+	}
+	if len(p.sweepUnbatchedNs) > 0 {
+		rec.Figure7SweepUnbatchedNs = best(p.sweepUnbatchedNs, false)
+		if rec.Figure7SweepSerialNs > 0 {
+			rec.Figure7BatchedSpeedup = rec.Figure7SweepUnbatchedNs / rec.Figure7SweepSerialNs
+		}
+	}
+	if len(p.sweepPar4Ns) > 0 {
 		rec.Figure7SweepParallel4Ns = best(p.sweepPar4Ns, false)
-		rec.Figure7ParallelSpeedup = rec.Figure7SweepSerialNs / rec.Figure7SweepParallel4Ns
+		if rec.Figure7SweepSerialNs > 0 {
+			rec.Figure7ParallelSpeedup = rec.Figure7SweepSerialNs / rec.Figure7SweepParallel4Ns
+		}
+	}
+
+	if *minBatched > 0 {
+		if rec.Figure7BatchedSpeedup == 0 {
+			fail(fmt.Errorf("no Figure7Sweep serial+unbatched samples in %s for the batched-speedup gate", *newPath))
+		}
+		fmt.Printf("benchgate: batched sweep speedup %.2fx (unbatched %.0fms / batched %.0fms), floor %.2fx\n",
+			rec.Figure7BatchedSpeedup, rec.Figure7SweepUnbatchedNs/1e6, rec.Figure7SweepSerialNs/1e6, *minBatched)
+		if rec.Figure7BatchedSpeedup < *minBatched {
+			fail(fmt.Errorf("batched sweep speedup %.2fx < %.2fx floor", rec.Figure7BatchedSpeedup, *minBatched))
+		}
+	}
+	if *minParallel > 0 {
+		switch {
+		case rec.CPUs < *requireCPUs:
+			fmt.Printf("benchgate: SKIPPING parallel-speedup gate: host has %d CPU(s), need >= %d — a 4-worker pool cannot beat serial without hardware parallelism (measured %.2fx)\n",
+				rec.CPUs, *requireCPUs, rec.Figure7ParallelSpeedup)
+		case rec.Figure7ParallelSpeedup == 0:
+			fail(fmt.Errorf("no Figure7Sweep serial+parallel4 samples in %s for the parallel-speedup gate", *newPath))
+		default:
+			fmt.Printf("benchgate: parallel sweep speedup %.2fx (serial %.0fms / parallel4 %.0fms) on %d CPUs, floor %.2fx\n",
+				rec.Figure7ParallelSpeedup, rec.Figure7SweepSerialNs/1e6, rec.Figure7SweepParallel4Ns/1e6, rec.CPUs, *minParallel)
+			if rec.Figure7ParallelSpeedup < *minParallel {
+				fail(fmt.Errorf("parallel sweep speedup %.2fx < %.2fx floor", rec.Figure7ParallelSpeedup, *minParallel))
+			}
+		}
 	}
 
 	if *oldPath != "" {

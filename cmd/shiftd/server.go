@@ -321,6 +321,12 @@ type statsResponse struct {
 	Deduped int64 `json:"deduped"`
 	// Inflight is the number of simulations running right now.
 	Inflight int `json:"inflight"`
+	// Batched counts cells executed through the engine's shared-stream
+	// batch path (all designs of a workload off one generated stream).
+	Batched int64 `json:"batched"`
+	// StreamsShared counts trace-stream generations avoided by
+	// batching (K-1 per batch of K cells).
+	StreamsShared int64 `json:"streams_shared"`
 }
 
 // handleStats serves GET /v1/stats.
@@ -335,6 +341,8 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Simulated:     es.Simulated,
 		Deduped:       es.Deduped,
 		Inflight:      es.Inflight,
+		Batched:       es.Batched,
+		StreamsShared: es.StreamsShared,
 	})
 }
 

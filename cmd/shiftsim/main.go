@@ -9,6 +9,8 @@
 //	shiftsim -experiment fig6 -sizes 1024,8192,32768
 //	shiftsim -experiment all -parallel 8      # 8 engine workers (same output)
 //	shiftsim -experiment fig8 -cache=false    # disable cell memoization
+//	shiftsim -experiment fig7 -v              # engine summary (batched cells etc.)
+//	shiftsim -experiment fig7 -no-batch       # disable stream batching (same output)
 //	shiftsim -experiment all -cache-dir ~/.shiftcache   # persist cells across runs
 //	shiftsim -experiment fig8 -cpuprofile cpu.out -memprofile mem.out
 //
@@ -47,6 +49,8 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "experiment-engine workers (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 		useCache   = flag.Bool("cache", true, "memoize per-cell results across experiments (shared baselines are simulated once)")
 		cacheDir   = flag.String("cache-dir", "", "persist per-cell results under this directory (tiered memory-over-disk store; a repeated sweep across process restarts simulates nothing)")
+		noBatch    = flag.Bool("no-batch", false, "disable shared-stream batching of grid cells (diagnostics; output is identical)")
+		verbose    = flag.Bool("v", false, "print an engine summary (simulated/batched/stream-generations-avoided cells) after the runs")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after the runs) to this file")
 	)
@@ -128,6 +132,14 @@ func main() {
 	if *experiment == "all" {
 		names = shift.Experiments()
 	}
+	// One engine across all experiments of the invocation, so cells
+	// shared between figures are deduplicated and the -v summary covers
+	// the whole run. With Engine set, the engine's own SetBatching —
+	// not Options.DisableBatching — governs batching.
+	engine := shift.NewEngine(opts.Parallelism, opts.Cache)
+	engine.SetBatching(!*noBatch)
+	opts.Engine = engine
+
 	for _, name := range names {
 		start := time.Now()
 		out, err := runOne(name, opts, fig6Sizes)
@@ -142,6 +154,11 @@ func main() {
 			fmt.Printf("[cell cache: %d hits, %d misses, %d cells stored]\n",
 				hits, misses, opts.Cache.Len())
 		}
+	}
+	if *verbose {
+		es := engine.Stats()
+		fmt.Printf("[engine: %d cells simulated, %d batched, %d stream generations avoided, %d deduped]\n",
+			es.Simulated, es.Batched, es.StreamsShared, es.Deduped)
 	}
 }
 

@@ -44,6 +44,17 @@ func cell(cfg Config, labelParts ...string) Cell {
 // sharing cells, e.g. the per-workload baselines common to most
 // figures) skip already-computed work.
 //
+// Cells that consume the same trace stream (equal Config.StreamKeys —
+// the common shape of a figure grid, where every design of a workload
+// reads the identical per-core record stream) are partitioned into
+// batches and scheduled as units on the pool: each batch runs through
+// RunBatch, generating its stream once and fanning it out to every
+// member, and resolves all of its cells' in-flight claims when it
+// completes. A batch occupies one worker slot (its members execute in
+// lockstep on one goroutine), so Parallelism keeps meaning "concurrent
+// worker threads". Batching never changes results — only which work is
+// shared — and falls back to per-cell execution if a batch cannot run.
+//
 // An Engine is safe for concurrent use: RunAll may be called from many
 // goroutines (the shiftd service shares one Engine across all
 // requests), and concurrent calls that need the same cell share a
@@ -69,6 +80,14 @@ type Engine struct {
 	flight    store.Flight[RunResult]
 	simulated atomic.Int64
 	deduped   atomic.Int64
+
+	// batched counts cells executed through the shared-stream batch
+	// path; streamsShared counts the trace-stream generations that path
+	// avoided (K-1 per batch of K). noBatch forces per-cell execution
+	// (Options.DisableBatching — diagnostics and A/B benchmarking).
+	batched       atomic.Int64
+	streamsShared atomic.Int64
+	noBatch       bool
 }
 
 // NewEngine returns an engine with the given worker-pool bound
@@ -87,6 +106,12 @@ func NewEngine(parallelism int, rs ResultStore) *Engine {
 	}
 }
 
+// SetBatching enables or disables the shared-stream batch path.
+// Batching is on by default and never changes results — only how much
+// per-record work is shared — so disabling it is for diagnostics and
+// A/B measurement. Not safe to call concurrently with RunAll.
+func (e *Engine) SetBatching(on bool) { e.noBatch = !on }
+
 // simulate runs one cell's simulation under the engine-wide
 // concurrency bound and counts it.
 func (e *Engine) simulate(cfg Config) (RunResult, error) {
@@ -101,7 +126,9 @@ func (o Options) engine() *Engine {
 	if o.Engine != nil {
 		return o.Engine
 	}
-	return NewEngine(o.Parallelism, o.Cache)
+	e := NewEngine(o.Parallelism, o.Cache)
+	e.noBatch = o.DisableBatching
+	return e
 }
 
 // EngineStats is a point-in-time snapshot of an engine's work counters,
@@ -119,15 +146,24 @@ type EngineStats struct {
 	Deduped int64
 	// Inflight is the number of cells being simulated right now.
 	Inflight int
+	// Batched counts cells executed through the shared-stream batch
+	// path (batches of two or more cells with equal StreamKeys).
+	Batched int64
+	// StreamsShared counts trace-stream generations avoided by
+	// batching: a batch of K cells generates its stream once instead of
+	// K times, contributing K-1.
+	StreamsShared int64
 }
 
 // Stats returns a snapshot of the engine's counters. Safe to call
 // concurrently with RunAll.
 func (e *Engine) Stats() EngineStats {
 	s := EngineStats{
-		Simulated: e.simulated.Load(),
-		Deduped:   e.deduped.Load(),
-		Inflight:  e.flight.Len(),
+		Simulated:     e.simulated.Load(),
+		Deduped:       e.deduped.Load(),
+		Inflight:      e.flight.Len(),
+		Batched:       e.batched.Load(),
+		StreamsShared: e.streamsShared.Load(),
 	}
 	if e.store != nil {
 		s.StoreHits, s.StoreMisses = e.store.Stats()
@@ -186,34 +222,37 @@ func (e *Engine) RunAll(cells []Cell) ([]RunResult, error) {
 		}
 	}
 
-	// Simulate the owned cells. Each result is stored and published to
-	// concurrent waiters the moment it completes, inside the worker —
-	// not after the barrier — so waiters never outlive the work they
-	// wait on.
+	// Partition the owned cells into stream-sharing batches and
+	// simulate batch by batch. Each result is stored and published to
+	// concurrent waiters the moment its batch completes, inside the
+	// worker — not after the barrier — so waiters never outlive the
+	// work they wait on. Workers write disjoint ownedErrs/ownedResults
+	// entries, so the shared slices need no locking.
+	//
+	// Workers report no error to the pool: exp.Map's early exit skips
+	// indices above the lowest failure, and batch indices do not order
+	// like cell indices (a later batch can hold an earlier cell), so a
+	// skip could drop the error of the globally lowest-index failing
+	// cell and make the returned error depend on Parallelism. Failing
+	// grids are rare (config validation) and their cells cheap, so
+	// every batch always runs and the selection below stays exactly the
+	// serial-loop error.
+	batches := batchOwned(cells, owned)
 	ownedErrs := make([]error, len(owned))
-	computed, mapErr := exp.Map(e.opts, len(owned), func(j int) (RunResult, error) {
-		c := cells[owned[j]]
-		r, err := e.simulate(c.Config)
-		if err != nil {
-			err = fmt.Errorf("cell %s: %w", c.Label, err)
-			ownedErrs[j] = err
-		} else if e.store != nil {
-			e.store.Store(keys[owned[j]], r)
-		}
-		e.flight.Resolve(keys[owned[j]], ownedCalls[j], r, err)
-		return r, err
+	ownedResults := make([]RunResult, len(owned))
+	_, _ = exp.Map(e.opts, len(batches), func(bi int) (struct{}, error) {
+		e.runOwnedBatch(cells, keys, owned, ownedCalls, batches[bi], ownedErrs, ownedResults)
+		return struct{}{}, nil
 	})
-	// On failure exp.Map skips cells above the lowest failing index;
-	// their claims must still be resolved or concurrent waiters would
-	// hang. exp.Map has quiesced, so an unresolved call here can no
-	// longer race with its worker.
-	if mapErr != nil {
-		for j, c := range ownedCalls {
-			select {
-			case <-c.Done():
-			default:
-				e.flight.Resolve(keys[owned[j]], c, RunResult{}, errCellSkipped)
-			}
+	// Defensive: a claim left unresolved would hang concurrent waiters
+	// forever. Every worker resolves its cells on success and on
+	// failure, so this sweep is expected to find nothing; exp.Map has
+	// quiesced, so an unresolved call can no longer race with a worker.
+	for j, c := range ownedCalls {
+		select {
+		case <-c.Done():
+		default:
+			e.flight.Resolve(keys[owned[j]], c, RunResult{}, errCellSkipped)
 		}
 	}
 
@@ -250,20 +289,87 @@ func (e *Engine) RunAll(cells []Cell) ([]RunResult, error) {
 	if failErr != nil {
 		return nil, failErr
 	}
-	if mapErr != nil {
-		// A failure with no per-cell record (cannot happen today, but
-		// never mask an error).
-		return nil, mapErr
-	}
 
 	for j := range owned {
-		byKey[keys[owned[j]]] = computed[j]
+		byKey[keys[owned[j]]] = ownedResults[j]
 	}
 	out := make([]RunResult, len(cells))
 	for i := range cells {
 		out[i] = byKey[keys[i]]
 	}
 	return out, nil
+}
+
+// batchOwned partitions the owned cells (positions into `owned`) into
+// batches of cells consuming the same trace stream, keyed by
+// Config.StreamKey. Batch order follows the first appearance of each
+// stream and members stay in ascending cell order, so the schedule is
+// deterministic for a given grid.
+func batchOwned(cells []Cell, owned []int) [][]int {
+	idx := make(map[string]int, len(owned))
+	var batches [][]int
+	for j, i := range owned {
+		sk := cells[i].Config.StreamKey()
+		bi, ok := idx[sk]
+		if !ok {
+			bi = len(batches)
+			idx[sk] = bi
+			batches = append(batches, nil)
+		}
+		batches[bi] = append(batches[bi], j)
+	}
+	return batches
+}
+
+// runOwnedBatch executes one stream-sharing batch of owned cells under
+// a single worker slot: the batched fast path generates the shared
+// stream once and simulates every member off it; if the batch cannot
+// run (or batching is disabled, or the batch is a single cell) the
+// members run individually, which preserves exact per-cell errors. Each
+// member's result is stored and its in-flight claim resolved here, in
+// the worker; per-cell errors land in errs for RunAll's deterministic
+// lowest-index selection.
+func (e *Engine) runOwnedBatch(cells []Cell, keys []string, owned []int, ownedCalls []*store.Call[RunResult], members []int, errs []error, results []RunResult) {
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+
+	if len(members) >= 2 && !e.noBatch {
+		cfgs := make([]Config, len(members))
+		for mi, j := range members {
+			cfgs[mi] = cells[owned[j]].Config
+		}
+		rs, err := RunBatch(cfgs)
+		if err == nil {
+			e.simulated.Add(int64(len(members)))
+			e.batched.Add(int64(len(members)))
+			e.streamsShared.Add(int64(len(members) - 1))
+			for mi, j := range members {
+				results[j] = rs[mi]
+				if e.store != nil {
+					e.store.Store(keys[owned[j]], rs[mi])
+				}
+				e.flight.Resolve(keys[owned[j]], ownedCalls[j], rs[mi], nil)
+			}
+			return
+		}
+		// Fall through: per-cell execution reproduces the exact error
+		// (and result) of every member — the simulator is deterministic,
+		// so partially-simulated batch work is safely recomputed.
+	}
+
+	for _, j := range members {
+		c := cells[owned[j]]
+		e.simulated.Add(1)
+		r, err := Run(c.Config)
+		if err != nil {
+			err = fmt.Errorf("cell %s: %w", c.Label, err)
+			errs[j] = err
+		} else if e.store != nil {
+			e.store.Store(keys[owned[j]], r)
+		}
+		results[j] = r
+		e.flight.Resolve(keys[owned[j]], ownedCalls[j], r, err)
+	}
 }
 
 // runShared computes one cell through the store and the in-flight

@@ -170,8 +170,11 @@ func TestEngineErrorDeterminism(t *testing.T) {
 // TestFigure7ParallelSpeedup measures the acceptance property on
 // multi-core hosts: the Figure 7 sweep at Parallelism 4 must beat the
 // serial sweep by >= 2x wall-clock while producing identical output.
-// The simulator is CPU-bound, so the property is only observable with
-// enough hardware parallelism; single- and dual-core hosts skip.
+// The engine schedules whole stream-sharing batches (one per workload)
+// on the pool, so the grid spans four workloads to expose four units
+// of parallel work. The simulator is CPU-bound, so the property is
+// only observable with enough hardware parallelism; single- and
+// dual-core hosts skip.
 func TestFigure7ParallelSpeedup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing measurement is not short")
@@ -180,8 +183,9 @@ func TestFigure7ParallelSpeedup(t *testing.T) {
 		t.Skipf("need >= 4 CPUs for a 2x wall-clock bound, have %d", runtime.NumCPU())
 	}
 	serial := engineTestOptions()
+	serial.Workloads = []string{"OLTP Oracle", "Web Search", "DSS Qry 2", "Media Streaming"}
 	serial.Parallelism = 1
-	parallel := engineTestOptions()
+	parallel := serial
 	parallel.Parallelism = 4
 
 	t0 := time.Now()

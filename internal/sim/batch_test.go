@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"shift/internal/core"
+	"shift/internal/pif"
+	"shift/internal/tifs"
+	"shift/internal/workload"
+)
+
+// batchDesigns returns one spec per design point over the shared test
+// stream, with deliberate variety in the design-independent degrees of
+// freedom a batch must tolerate: seeds, modes, and ElimProb.
+func batchDesigns() []RunSpec {
+	mk := func(mut func(*Config)) RunSpec {
+		cfg := testConfig()
+		mut(&cfg)
+		return testSpec(cfg)
+	}
+	specs := []RunSpec{
+		mk(func(c *Config) {}),
+		mk(func(c *Config) { c.Prefetcher = PrefetcherSpec{Kind: KindNextLine, NextLineDegree: 1} }),
+		mk(func(c *Config) { c.Prefetcher = PrefetcherSpec{Kind: KindPIF, PIF: pif.Config2K()} }),
+		mk(func(c *Config) { c.Prefetcher = PrefetcherSpec{Kind: KindPIF, PIF: pif.Config32K()} }),
+		mk(func(c *Config) { c.Prefetcher = PrefetcherSpec{Kind: KindSHIFT, SHIFT: smallSHIFT(core.Dedicated)} }),
+		mk(func(c *Config) { c.Prefetcher = PrefetcherSpec{Kind: KindSHIFT, SHIFT: smallSHIFT(core.Virtualized)} }),
+		mk(func(c *Config) { c.Prefetcher = PrefetcherSpec{Kind: KindTIFS, TIFS: tifs.DefaultConfig()} }),
+		mk(func(c *Config) { c.Seed = 42; c.ElimProb = 0.5 }),
+		mk(func(c *Config) {
+			c.Mode = ModePrediction
+			c.Prefetcher = PrefetcherSpec{Kind: KindSHIFT, SHIFT: smallSHIFT(core.Virtualized)}
+		}),
+	}
+	return specs
+}
+
+// TestRunBatchMatchesRun is the batched ≡ unbatched differential: every
+// design point (plus seed/mode/elim variants) simulated in one batched
+// pass must be bit-identical to its standalone Run. The "uniform" batch
+// (designs only — equal seeds, no elimination) exercises the fully
+// shared frontend (stream + branch predictor + data traffic); the
+// "mixed" batch adds members that force the data-side sharing off and
+// checks the partial-sharing fallbacks.
+func TestRunBatchMatchesRun(t *testing.T) {
+	all := batchDesigns()
+	for _, tc := range []struct {
+		name  string
+		specs []RunSpec
+	}{
+		{"uniform", all[:7]},
+		{"mixed", all},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			batched, err := RunBatch(tc.specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(batched) != len(tc.specs) {
+				t.Fatalf("%d results for %d specs", len(batched), len(tc.specs))
+			}
+			for i, spec := range tc.specs {
+				solo, err := Run(spec)
+				if err != nil {
+					t.Fatalf("spec %d: %v", i, err)
+				}
+				if !reflect.DeepEqual(batched[i], solo) {
+					t.Errorf("spec %d (%s): batched result differs from Run", i, spec.Config.Prefetcher.Name())
+				}
+			}
+		})
+	}
+}
+
+// TestRunBatchMixedPredictors checks the no-shared-bp fallback: members
+// with different branch-predictor sizes still batch (the stream is the
+// same) and still match their standalone runs exactly.
+func TestRunBatchMixedPredictors(t *testing.T) {
+	a := testConfig()
+	b := testConfig()
+	b.BranchPredictorEntries = 4096
+	c := testConfig()
+	c.Prefetcher = PrefetcherSpec{Kind: KindPIF, PIF: pif.Config2K()}
+	c.BranchPredictorEntries = 0 // no branch modelling at all
+	specs := []RunSpec{testSpec(a), testSpec(b), testSpec(c)}
+	batched, err := RunBatch(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range specs {
+		solo, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batched[i], solo) {
+			t.Errorf("spec %d: mixed-predictor batch diverged from Run", i)
+		}
+	}
+}
+
+// TestRunBatchGroups runs a consolidated (multi-group) batch and
+// checks it against standalone runs.
+func TestRunBatchGroups(t *testing.T) {
+	wlA := testWorkload()
+	wlB := testWorkload()
+	wlB.Name = "sim-test-B"
+	wlB.Seed = 99
+	mk := func(mut func(*Config)) RunSpec {
+		cfg := testConfig()
+		mut(&cfg)
+		return RunSpec{
+			Config: cfg,
+			Groups: []core.Group{
+				{Name: "A", Cores: []int{0, 1}},
+				{Name: "B", Cores: []int{2, 3}},
+			},
+			GroupWorkloads: []workload.Params{wlA, wlB},
+			WarmupRecords:  10000,
+			MeasureRecords: 15000,
+		}
+	}
+	specs := []RunSpec{
+		mk(func(c *Config) {}),
+		mk(func(c *Config) { c.Prefetcher = PrefetcherSpec{Kind: KindSHIFT, SHIFT: smallSHIFT(core.Virtualized)} }),
+		mk(func(c *Config) { c.Prefetcher = PrefetcherSpec{Kind: KindPIF, PIF: pif.Config2K()} }),
+	}
+	batched, err := RunBatch(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range specs {
+		solo, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batched[i], solo) {
+			t.Errorf("group spec %d: batched result differs from Run", i)
+		}
+	}
+}
+
+// TestRunBatchSingleAndEmpty covers the degenerate batch sizes.
+func TestRunBatchSingleAndEmpty(t *testing.T) {
+	if rs, err := RunBatch(nil); err != nil || rs != nil {
+		t.Fatalf("empty batch: %v, %v", rs, err)
+	}
+	spec := testSpec(testConfig())
+	rs, err := RunBatch([]RunSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs[0], solo) {
+		t.Error("single-spec batch differs from Run")
+	}
+}
+
+// TestRunBatchRejectsMismatchedStreams asserts incompatible specs are
+// refused with the offending index named.
+func TestRunBatchRejectsMismatchedStreams(t *testing.T) {
+	base := testSpec(testConfig())
+	muts := []func(*RunSpec){
+		func(s *RunSpec) { s.Workload.Seed++ },
+		func(s *RunSpec) { s.Workload.Name = "other" },
+		func(s *RunSpec) { s.WarmupRecords++ },
+		func(s *RunSpec) { s.MeasureRecords++ },
+		func(s *RunSpec) { s.Config.Cores = 2 },
+	}
+	for i, mut := range muts {
+		bad := base
+		mut(&bad)
+		if _, err := RunBatch([]RunSpec{base, bad}); err == nil {
+			t.Errorf("mutation %d: mismatched batch accepted", i)
+		}
+	}
+	invalid := base
+	invalid.MeasureRecords = 0
+	if _, err := RunBatch([]RunSpec{base, invalid}); err == nil {
+		t.Error("invalid spec accepted in batch")
+	}
+}

@@ -62,7 +62,7 @@ func Run(spec RunSpec) (Result, error) {
 	readers := make([]trace.Reader, cfg.Cores)
 
 	if len(spec.Groups) == 0 {
-		w, err := workload.New(spec.Workload)
+		w, err := workload.Cached(spec.Workload)
 		if err != nil {
 			return Result{}, err
 		}
@@ -76,7 +76,7 @@ func Run(spec RunSpec) (Result, error) {
 			cfg.Prefetcher.Groups = spec.Groups
 		}
 		for gi, g := range spec.Groups {
-			w, err := workload.New(spec.GroupWorkloads[gi])
+			w, err := workload.Cached(spec.GroupWorkloads[gi])
 			if err != nil {
 				return Result{}, fmt.Errorf("group %q: %w", g.Name, err)
 			}

@@ -23,8 +23,11 @@ type System struct {
 	readers []trace.Reader
 	// fastReaders[i] is readers[i] when it is a concrete synthetic-
 	// workload reader, letting the per-record Next call skip interface
-	// dispatch (nil entries fall back to the interface).
+	// dispatch (nil entries fall back to the interface); fastViews is
+	// the same devirtualization for the batched path's shared-stream
+	// views.
 	fastReaders []*workload.CoreReader
+	fastViews   []*workload.StreamView
 	done        []bool
 
 	// tiles[coreID] is the core's mesh tile (coreID mod tile count).
@@ -56,6 +59,35 @@ type System struct {
 	// hot gathers each core's per-record state behind a single bounds
 	// check; see coreHot.
 	hot []coreHot
+
+	// adaptive and adaptEvery are the Section 6.1 generator-rotation
+	// switches, resolved once at construction so the per-round check is
+	// two loads.
+	adaptive   bool
+	adaptEvery int64
+
+	// Shared branch prediction for batched runs (RunBatch). Every batch
+	// member consumes an identical record stream, so the hybrid
+	// predictor — a pure function of that stream — evolves identically
+	// in all of them. When bpBuf is non-nil the lead member (bpLead)
+	// evaluates its predictor per record and writes the outcome at
+	// bpPos; followers, whose bp slices alias the lead's predictors for
+	// result accounting, consume the outcome instead of re-evaluating.
+	// The batch runner resets bpPos on every member at each lockstep
+	// block, which keeps the cursors aligned across members.
+	bpBuf  []uint8
+	bpLead bool
+	bpPos  int
+
+	// Shared background data traffic for batched runs. With equal seeds
+	// and data rates and no miss elimination, the data-side accumulator
+	// and its RNG draws are functions of the shared record stream alone,
+	// so the lead packs each record's (message count, hop sum) into
+	// dsBuf and followers replay the aggregate (integer sums —
+	// bit-identical accounting) instead of re-drawing it.
+	dsBuf  []uint64
+	dsLead bool
+	dsPos  int
 
 	base measurement // snapshot at measurement start
 }
@@ -108,9 +140,13 @@ func New(cfg Config, readers []trace.Reader) (*System, error) {
 	}
 	s := &System{cfg: cfg, readers: readers}
 	s.fastReaders = make([]*workload.CoreReader, len(readers))
+	s.fastViews = make([]*workload.StreamView, len(readers))
 	for i, r := range readers {
-		if cr, ok := r.(*workload.CoreReader); ok {
+		switch cr := r.(type) {
+		case *workload.CoreReader:
 			s.fastReaders[i] = cr
+		case *workload.StreamView:
+			s.fastViews[i] = cr
 		}
 	}
 	s.dataStep = make([]float64, 4096)
@@ -189,6 +225,11 @@ func New(cfg Config, readers []trace.Reader) (*System, error) {
 		return nil, err
 	}
 	s.buildHot()
+	s.adaptEvery = cfg.Prefetcher.AdaptWindow
+	if s.adaptEvery <= 0 {
+		s.adaptEvery = defaultAdaptWindow
+	}
+	s.adaptive = cfg.Prefetcher.AdaptiveGenerator && len(s.shared) > 0
 	s.base = s.snapshot()
 	return s, nil
 }
@@ -312,6 +353,8 @@ func (s *System) Step(coreID int) (bool, error) {
 	var err error
 	if cr := s.fastReaders[coreID]; cr != nil {
 		rec, err = cr.Next()
+	} else if sv := s.fastViews[coreID]; sv != nil {
+		rec, err = sv.Next()
 	} else {
 		rec, err = s.readers[coreID].Next()
 	}
@@ -327,11 +370,30 @@ func (s *System) Step(coreID int) (bool, error) {
 	clk := h.clk
 
 	// Branch direction modelling: every record that does not fall
-	// through ends in a taken control transfer.
+	// through ends in a taken control transfer. In a batched run the
+	// outcome is computed once by the lead member and replayed by the
+	// followers (see the bpBuf field doc); the predictor's inputs and
+	// state are functions of the shared record stream alone, so the
+	// replayed outcome is exactly what a local evaluation would return.
 	if h.bp != nil {
-		pc := rec.Block.Addr()
-		taken := rec.Kind != trace.KindSeq
-		if h.bp.PredictUpdate(pc, taken) != taken {
+		var mis bool
+		if s.bpBuf != nil && !s.bpLead {
+			mis = s.bpBuf[s.bpPos] != 0
+			s.bpPos++
+		} else {
+			pc := rec.Block.Addr()
+			taken := rec.Kind != trace.KindSeq
+			mis = h.bp.PredictUpdate(pc, taken) != taken
+			if s.bpBuf != nil {
+				out := uint8(0)
+				if mis {
+					out = 1
+				}
+				s.bpBuf[s.bpPos] = out
+				s.bpPos++
+			}
+		}
+		if mis {
 			clk.Mispredict()
 		}
 	}
@@ -397,16 +459,33 @@ func (s *System) Step(coreID int) (bool, error) {
 	// with it the exact record at which the accumulator crosses 1.0,
 	// shifting the RNG stream and breaking bit-identical output. dataStep
 	// caches that exact expression per retire count.
-	if int(rec.Instrs) < len(s.dataStep) {
-		s.dataAcc[coreID] += s.dataStep[rec.Instrs]
+	// Batch followers replay the lead's recorded (count, hop sum)
+	// instead: the accumulator and the draws are functions of the shared
+	// record stream alone (see the dsBuf field doc).
+	if s.dsBuf != nil && !s.dsLead {
+		if d := s.dsBuf[s.dsPos]; d != 0 {
+			s.mesh.AccountN(noc.DemandData, int64(d>>32), int64(d&0xFFFFFFFF))
+		}
+		s.dsPos++
 	} else {
-		s.dataAcc[coreID] += float64(rec.Instrs) * s.cfg.DataMPKI / 1000
-	}
-	for s.dataAcc[coreID] >= 1 {
-		s.dataAcc[coreID]--
-		bank := h.rng.Intn(len(s.llc))
-		hops := s.mesh.Hops(s.tileOf(coreID), bank)
-		s.mesh.Account(noc.DemandData, 2*hops)
+		if int(rec.Instrs) < len(s.dataStep) {
+			s.dataAcc[coreID] += s.dataStep[rec.Instrs]
+		} else {
+			s.dataAcc[coreID] += float64(rec.Instrs) * s.cfg.DataMPKI / 1000
+		}
+		var msgs, hopSum int64
+		for s.dataAcc[coreID] >= 1 {
+			s.dataAcc[coreID]--
+			bank := h.rng.Intn(len(s.llc))
+			hops := s.mesh.Hops(s.tileOf(coreID), bank)
+			s.mesh.Account(noc.DemandData, 2*hops)
+			msgs++
+			hopSum += int64(2 * hops)
+		}
+		if s.dsBuf != nil {
+			s.dsBuf[s.dsPos] = uint64(msgs)<<32 | uint64(hopSum)
+			s.dsPos++
+		}
 	}
 	h.mshr.Expire(clk.Now())
 	return true, nil
@@ -436,29 +515,46 @@ func (s *System) issuePrefetch(coreID int, h *coreHot, r prefetch.Request) {
 // relationships a real concurrent system would have between the history
 // generator and the replaying cores.
 func (s *System) Run(records int64) error {
-	window := s.cfg.Prefetcher.AdaptWindow
-	if window <= 0 {
-		window = defaultAdaptWindow
-	}
-	adaptive := s.cfg.Prefetcher.AdaptiveGenerator && len(s.shared) > 0
-	for r := int64(0); r < records; r++ {
-		active := false
-		for c := 0; c < s.cfg.Cores; c++ {
-			ok, err := s.Step(c)
-			if err != nil {
-				return err
-			}
-			active = active || ok
+	_, err := s.runRounds(records)
+	return err
+}
+
+// runRounds advances up to n lockstep rounds, returning the number
+// completed (fewer only when every core's trace is exhausted). It is
+// the shared inner loop of Run and the batch runner's block-lockstep
+// schedule.
+func (s *System) runRounds(n int64) (int64, error) {
+	for r := int64(0); r < n; r++ {
+		active, err := s.runRound()
+		if err != nil {
+			return r, err
 		}
 		if !active {
-			return nil
-		}
-		s.rounds++
-		if adaptive && s.rounds%window == 0 {
-			s.checkAdaptive()
+			return r, nil
 		}
 	}
-	return nil
+	return n, nil
+}
+
+// runRound advances every core by one record and applies the adaptive
+// generator check; it reports false when no core made progress.
+func (s *System) runRound() (bool, error) {
+	active := false
+	for c := 0; c < s.cfg.Cores; c++ {
+		ok, err := s.Step(c)
+		if err != nil {
+			return false, err
+		}
+		active = active || ok
+	}
+	if !active {
+		return false, nil
+	}
+	s.rounds++
+	if s.adaptive && s.rounds%s.adaptEvery == 0 {
+		s.checkAdaptive()
+	}
+	return true, nil
 }
 
 // MarkMeasurement snapshots all counters; Results reports deltas from

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"testing"
+
+	"shift/internal/trace"
+)
+
+// streamTestWorkload builds a small-but-real workload for stream tests.
+func streamTestWorkload(t *testing.T) *Workload {
+	t.Helper()
+	p := Catalog()[0]
+	p = Scaled(p, 0.1)
+	w, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestStreamViewMatchesCoreReader drives several views in skewed
+// lockstep and asserts each yields exactly the record sequence of an
+// independent CoreReader for the same core.
+func TestStreamViewMatchesCoreReader(t *testing.T) {
+	w := streamTestWorkload(t)
+	const core = 3
+	const total = 50000
+	ref, err := trace.Collect(trace.Limit(w.NewCoreReader(core), total), total)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cs := w.NewCoreStream(core, 3)
+	views := []*StreamView{cs.View(0), cs.View(1), cs.View(2)}
+	// Uneven lockstep: view 0 advances in blocks of 1000, view 1 in
+	// blocks of 700, view 2 in blocks of 1300 — consumers lead and lag
+	// across chunk boundaries.
+	steps := []int{1000, 700, 1300}
+	got := make([][]trace.Record, len(views))
+	for done := false; !done; {
+		done = true
+		for i, v := range views {
+			for j := 0; j < steps[i] && len(got[i]) < total; j++ {
+				rec, err := v.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				got[i] = append(got[i], rec)
+			}
+			if len(got[i]) < total {
+				done = false
+			}
+		}
+	}
+	for i := range got {
+		if len(got[i]) != total {
+			t.Fatalf("view %d: %d records, want %d", i, len(got[i]), total)
+		}
+		for j := range got[i] {
+			if got[i][j] != ref[j] {
+				t.Fatalf("view %d record %d: got %+v, want %+v", i, j, got[i][j], ref[j])
+			}
+		}
+	}
+}
+
+// TestStreamWindowBounded asserts that chunks consumed by every view
+// are recycled: with consumers in bounded lockstep, the live window
+// stays at a handful of chunks and steady state stops allocating new
+// chunk buffers.
+func TestStreamWindowBounded(t *testing.T) {
+	w := streamTestWorkload(t)
+	cs := w.NewCoreStream(0, 4)
+	const rounds = 200
+	const blk = 2048 // two chunks per lockstep block
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < 4; i++ {
+			v := cs.View(i)
+			for j := 0; j < blk; j++ {
+				if _, err := v.Next(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if n := len(cs.chunks); n > 2*blk/streamChunk+1 {
+			t.Fatalf("round %d: live window %d chunks, want <= %d", r, n, 2*blk/streamChunk+1)
+		}
+	}
+	if cs.produced != rounds*blk {
+		t.Fatalf("produced %d records, want %d", cs.produced, rounds*blk)
+	}
+	// Total chunk buffers ever allocated = live + free; steady state
+	// must reuse, not grow.
+	if alloced := len(cs.chunks) + len(cs.free); alloced > 8 {
+		t.Fatalf("allocated %d chunk buffers for a lockstep skew of %d records", alloced, blk)
+	}
+}
+
+// TestCachedReturnsSharedGraph asserts the process-wide memoization:
+// same Params yield the same *Workload, different Params do not, and
+// build errors are reported.
+func TestCachedReturnsSharedGraph(t *testing.T) {
+	p := Scaled(Catalog()[1], 0.1)
+	w1, err := Cached(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Cached(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1 != w2 {
+		t.Fatal("Cached built the same Params twice")
+	}
+	q := p
+	q.Seed++
+	w3, err := Cached(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w3 == w1 {
+		t.Fatal("Cached shared a graph across different Params")
+	}
+	if _, err := Cached(Params{}); err == nil {
+		t.Fatal("Cached accepted invalid Params")
+	}
+}

@@ -40,6 +40,14 @@
 //	fig7, err := shift.RunFigure7(o)
 //	fig8, err := shift.RunFigure8(o) // baselines served from cache
 //
+// Cells that consume the same trace stream (equal Config.StreamKeys —
+// the different designs of one workload) are executed as a single
+// batch: RunBatch generates the per-core record stream once and fans
+// it out to every member, sharing the design-independent per-record
+// work. Batching never changes results (each member sees exactly the
+// record order of a standalone Run) and is on by default
+// (Options.DisableBatching turns it off for diagnostics).
+//
 // Custom grids go through the engine directly:
 //
 //	e := shift.NewEngine(4, shift.NewResultCache())

@@ -32,6 +32,30 @@ func (c Config) Key() string {
 	return hex.EncodeToString(h[:16])
 }
 
+// StreamKey returns a stable content hash of the configuration's trace
+// -stream inputs: the workload, the core count, and the warmup/measure
+// window lengths. Everything else — design point, seed, core type,
+// history sizes, simulation mode, miss elimination — only changes how
+// records are consumed, never which records are generated, so two
+// Configs with equal StreamKeys read bit-identical per-core record
+// streams. The engine uses this key to partition a grid into batches
+// that RunBatch executes off a single generated stream.
+func (c Config) StreamKey() string {
+	cores := c.Cores
+	if cores == 0 {
+		cores = 16
+	}
+	warm, meas := c.WarmupRecords, c.MeasureRecords
+	if warm == 0 {
+		warm = 60000
+	}
+	if meas == 0 {
+		meas = 60000
+	}
+	h := sha256.Sum256([]byte(fmt.Sprintf("s1|%q|%d|%d|%d", c.Workload, cores, warm, meas)))
+	return hex.EncodeToString(h[:16])
+}
+
 // ResultCache is the in-memory ResultStore: a mutex-guarded map of
 // memoized simulation results content-addressed by Config key, so
 // repeated sweeps skip already-computed cells. It is safe for
