@@ -133,6 +133,91 @@ func BenchmarkFigure7Sweep(b *testing.B) {
 	}
 }
 
+// BenchmarkSampledFigure7 measures the sampled execution mode against
+// exact simulation on the Figure 7 grid at a long measurement window
+// (25k warmup + 100k measured records per core, where sampling pays:
+// the policy simulates 1 interval in 40 in detail and fast-forwards
+// the rest with functional warming). Both cases run the engine's
+// default batched serial schedule, so the ratio isolates what sampling
+// buys. The sampled case also reports its accuracy against the exact
+// reference results: max-rel-err is the worst relative Throughput
+// (IPC-class) deviation across the grid's cells, and max-mpki-rel-err
+// the worst MPKI deviation (informational — the effective-miss process
+// is bursty at interval granularity, which is why sampled results
+// carry confidence intervals; see ARCHITECTURE.md).
+//
+// cmd/benchgate turns exact vs sampled ns/op into the committed
+// sampled_speedup and the max-rel-err metric into sampled_max_rel_err
+// (CI gates: >= 5.0x and <= 0.02).
+func BenchmarkSampledFigure7(b *testing.B) {
+	exactOpts := QuickOptions()
+	exactOpts.Workloads = []string{"OLTP Oracle", "Web Search"}
+	exactOpts.Parallelism = 1
+	exactOpts.MeasureRecords = 100000
+	sampledOpts := exactOpts
+	sampledOpts.Sampling = Sampling{Period: 40, IntervalRecords: 500, WarmupFraction: 0.3}
+
+	grid := func(o Options) []Cell {
+		var cells []Cell
+		for _, w := range o.Workloads {
+			for _, d := range []Design{DesignBaseline, DesignPIF2K, DesignPIF32K, DesignSHIFT} {
+				cells = append(cells, Cell{Label: w + "/" + d.String(), Config: o.config(w, d)})
+			}
+		}
+		return cells
+	}
+	run := func(b *testing.B, o Options) []RunResult {
+		rs, err := NewEngine(1, nil).RunAll(grid(o))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rs
+	}
+
+	var reference []RunResult
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reference = run(b, exactOpts)
+		}
+	})
+	b.Run("sampled", func(b *testing.B) {
+		if reference == nil {
+			// The exact case was filtered out; compute the (identical
+			// on every run) reference without timing it.
+			b.StopTimer()
+			reference = run(b, exactOpts)
+			b.StartTimer()
+		}
+		var maxTput, maxMPKI float64
+		for i := 0; i < b.N; i++ {
+			rs := run(b, sampledOpts)
+			maxTput, maxMPKI = 0, 0
+			for j := range rs {
+				if r := relErr(rs[j].Throughput, reference[j].Throughput); r > maxTput {
+					maxTput = r
+				}
+				if r := relErr(rs[j].MPKI, reference[j].MPKI); r > maxMPKI {
+					maxMPKI = r
+				}
+			}
+		}
+		b.ReportMetric(maxTput, "max-rel-err")
+		b.ReportMetric(maxMPKI, "max-mpki-rel-err")
+	})
+}
+
+// relErr returns |got-want|/|want| (0 when want is 0).
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return 0
+	}
+	r := (got - want) / want
+	if r < 0 {
+		r = -r
+	}
+	return r
+}
+
 // BenchmarkFigure8 regenerates the headline performance comparison
 // (paper: SHIFT 19% mean speedup, >90% of PIF_32K's benefit).
 func BenchmarkFigure8(b *testing.B) {

@@ -1,13 +1,13 @@
 // Command benchgate turns `go test -bench` output into a committed,
-// machine-readable benchmark record (BENCH_4.json) and gates throughput
-// and scheduling regressions against it.
+// machine-readable benchmark record (BENCH_5.json) and gates
+// throughput, scheduling, and sampled-mode regressions against it.
 //
 // Modes:
 //
 //	# Record: parse bench output (possibly -count>1) and write the JSON
 //	# record, embedding the pre-optimization baseline for the speedup.
-//	go test -run '^$' -bench 'SimulatorThroughput|Figure7Sweep' -benchtime 3x -count 5 . > bench/current.txt
-//	go run ./cmd/benchgate -new bench/current.txt -baseline-records 812645 -out BENCH_4.json
+//	go test -run '^$' -bench 'SimulatorThroughput|Figure7Sweep|SampledFigure7' -benchtime 3x -count 5 . > bench/current.txt
+//	go run ./cmd/benchgate -new bench/current.txt -baseline-records 812645 -out BENCH_5.json
 //
 //	# Gate against another run on the SAME host (what CI does: the PR's
 //	# base commit and head are benchmarked back to back on one runner,
@@ -16,12 +16,17 @@
 //
 //	# Gate against the committed record (same-host workflows only —
 //	# absolute records/s are not portable across machines):
-//	go run ./cmd/benchgate -new bench_new.txt -gate BENCH_4.json
+//	go run ./cmd/benchgate -new bench_new.txt -gate BENCH_5.json
 //
 //	# Gate the engine's scheduling wins, in-process (host-portable
 //	# ratios, not absolute times). The parallel gate needs real
 //	# hardware parallelism and is loudly skipped below -require-cpus:
 //	go run ./cmd/benchgate -new bench_new.txt -min-batched-speedup 1.10 -min-parallel-speedup 1.3
+//
+//	# Gate the sampled execution mode: the sampled Figure-7 sweep must
+//	# beat exact by the floor, at bounded worst-case Throughput error
+//	# (in-process ratios, host-portable):
+//	go run ./cmd/benchgate -new bench_new.txt -min-sampled-speedup 5.0 -max-sampled-rel-err 0.02
 //
 // Gates compare best-of-count samples, which suppresses scheduler
 // noise, and fail on a regression larger than -tolerance (default 10%).
@@ -69,9 +74,26 @@ type Record struct {
 	// one pass off a shared trace stream.
 	Figure7BatchedSpeedup float64 `json:"figure7_batched_speedup,omitempty"`
 	// Figure7ParallelSpeedup is serial/parallel4 wall-clock. It is only
-	// meaningful on hosts with >= 4 CPUs; the recording host's CPU
-	// count is in CPUs.
+	// meaningful on hosts with >= 4 CPUs — benchgate refuses to record
+	// it below -require-cpus, so a committed record can never carry a
+	// starved-host artifact; the recording host's CPU count is in CPUs.
 	Figure7ParallelSpeedup float64 `json:"figure7_parallel_speedup,omitempty"`
+	// SampledFigure7ExactNs / SampledNs record the sampled-execution
+	// benchmark (ns/op, best of count): the exact Figure-7 sweep at the
+	// long window and the same sweep under interval sampling.
+	SampledFigure7ExactNs float64 `json:"sampled_figure7_exact_ns,omitempty"`
+	SampledFigure7Ns      float64 `json:"sampled_figure7_ns,omitempty"`
+	// SampledSpeedup is exact/sampled wall-clock on the sweep.
+	SampledSpeedup float64 `json:"sampled_speedup,omitempty"`
+	// SampledMaxRelErr is the worst relative Throughput (IPC-class)
+	// error of the sampled sweep versus its exact reference, worst
+	// sample across -count runs (identical across runs in practice:
+	// the simulator is deterministic).
+	SampledMaxRelErr float64 `json:"sampled_max_rel_err,omitempty"`
+	// SampledMaxMPKIRelErr is the analogous worst MPKI error
+	// (informational; the interval-level miss process is bursty, which
+	// is what the per-run confidence intervals quantify).
+	SampledMaxMPKIRelErr float64 `json:"sampled_max_mpki_rel_err,omitempty"`
 	// CPUs is runtime.NumCPU() on the recording host.
 	CPUs int `json:"cpus,omitempty"`
 }
@@ -84,6 +106,10 @@ type parsed struct {
 	sweepSerialNs    []float64
 	sweepUnbatchedNs []float64
 	sweepPar4Ns      []float64
+	sampledExactNs   []float64
+	sampledNs        []float64
+	sampledRelErr    []float64
+	sampledMPKIErr   []float64
 	throughputName   string
 }
 
@@ -152,6 +178,20 @@ func parseBench(path string) (*parsed, error) {
 			if v, ok := metric("ns/op"); ok {
 				p.sweepPar4Ns = append(p.sweepPar4Ns, v)
 			}
+		case name == "BenchmarkSampledFigure7/exact":
+			if v, ok := metric("ns/op"); ok {
+				p.sampledExactNs = append(p.sampledExactNs, v)
+			}
+		case name == "BenchmarkSampledFigure7/sampled":
+			if v, ok := metric("ns/op"); ok {
+				p.sampledNs = append(p.sampledNs, v)
+			}
+			if v, ok := metric("max-rel-err"); ok {
+				p.sampledRelErr = append(p.sampledRelErr, v)
+			}
+			if v, ok := metric("max-mpki-rel-err"); ok {
+				p.sampledMPKIErr = append(p.sampledMPKIErr, v)
+			}
 		}
 	}
 	return p, sc.Err()
@@ -180,6 +220,8 @@ func main() {
 		tolerance       = flag.Float64("tolerance", 0.10, "allowed fractional throughput regression before failing")
 		minBatched      = flag.Float64("min-batched-speedup", 0, "fail if the in-process batched sweep speedup (unbatched/serial) is below this (0 = no gate)")
 		minParallel     = flag.Float64("min-parallel-speedup", 0, "fail if the in-process parallel sweep speedup (serial/parallel4) is below this (0 = no gate)")
+		minSampled      = flag.Float64("min-sampled-speedup", 0, "fail if the sampled Figure-7 sweep speedup (exact/sampled) is below this (0 = no gate)")
+		maxSampledErr   = flag.Float64("max-sampled-rel-err", 0, "fail if the sampled sweep's worst relative Throughput error exceeds this (0 = no gate)")
 		requireCPUs     = flag.Int("require-cpus", 4, "minimum runtime.NumCPU() for the parallel-speedup gate; below it the gate is loudly skipped (a 4-worker pool cannot beat serial without hardware parallelism)")
 		printBaseline   = flag.String("print-baseline", "", "print baseline_records_per_s from this Record JSON and exit")
 	)
@@ -196,7 +238,7 @@ func main() {
 		fmt.Printf("%.0f\n", rec.BaselineRecordsPerSec)
 		return
 	}
-	if *newPath == "" || (*outPath == "" && *gatePath == "" && *oldPath == "" && *minBatched == 0 && *minParallel == 0) {
+	if *newPath == "" || (*outPath == "" && *gatePath == "" && *oldPath == "" && *minBatched == 0 && *minParallel == 0 && *minSampled == 0 && *maxSampledErr == 0) {
 		fmt.Fprintln(os.Stderr, "benchgate: need -new plus -out (record), -old (same-runner gate), -gate (same-host gate), or a -min-*-speedup floor")
 		os.Exit(2)
 	}
@@ -224,11 +266,35 @@ func main() {
 			rec.Figure7BatchedSpeedup = rec.Figure7SweepUnbatchedNs / rec.Figure7SweepSerialNs
 		}
 	}
+	// Parallel-speedup figures are only recorded on hosts with real
+	// hardware parallelism: a worker pool cannot beat serial on a
+	// starved host, and committing such a measurement (as an early
+	// record of this repository once did, from a 1-CPU container)
+	// poisons every later same-host comparison. The gate below skips
+	// loudly in the same situation; recording must refuse too.
 	if len(p.sweepPar4Ns) > 0 {
-		rec.Figure7SweepParallel4Ns = best(p.sweepPar4Ns, false)
-		if rec.Figure7SweepSerialNs > 0 {
-			rec.Figure7ParallelSpeedup = rec.Figure7SweepSerialNs / rec.Figure7SweepParallel4Ns
+		if rec.CPUs >= *requireCPUs {
+			rec.Figure7SweepParallel4Ns = best(p.sweepPar4Ns, false)
+			if rec.Figure7SweepSerialNs > 0 {
+				rec.Figure7ParallelSpeedup = rec.Figure7SweepSerialNs / rec.Figure7SweepParallel4Ns
+			}
+		} else {
+			fmt.Printf("benchgate: NOT recording parallel sweep figures: host has %d CPU(s), need >= %d (a pool cannot beat serial without hardware parallelism)\n",
+				rec.CPUs, *requireCPUs)
 		}
+	}
+	if len(p.sampledExactNs) > 0 && len(p.sampledNs) > 0 {
+		rec.SampledFigure7ExactNs = best(p.sampledExactNs, false)
+		rec.SampledFigure7Ns = best(p.sampledNs, false)
+		rec.SampledSpeedup = rec.SampledFigure7ExactNs / rec.SampledFigure7Ns
+	}
+	if len(p.sampledRelErr) > 0 {
+		// Worst observed error across samples (deterministic in
+		// practice — the simulator is a pure function of its inputs).
+		rec.SampledMaxRelErr = best(p.sampledRelErr, true)
+	}
+	if len(p.sampledMPKIErr) > 0 {
+		rec.SampledMaxMPKIRelErr = best(p.sampledMPKIErr, true)
 	}
 
 	if *minBatched > 0 {
@@ -254,6 +320,27 @@ func main() {
 			if rec.Figure7ParallelSpeedup < *minParallel {
 				fail(fmt.Errorf("parallel sweep speedup %.2fx < %.2fx floor", rec.Figure7ParallelSpeedup, *minParallel))
 			}
+		}
+	}
+
+	if *minSampled > 0 {
+		if rec.SampledSpeedup == 0 {
+			fail(fmt.Errorf("no SampledFigure7 exact+sampled samples in %s for the sampled-speedup gate", *newPath))
+		}
+		fmt.Printf("benchgate: sampled sweep speedup %.2fx (exact %.0fms / sampled %.0fms), floor %.2fx\n",
+			rec.SampledSpeedup, rec.SampledFigure7ExactNs/1e6, rec.SampledFigure7Ns/1e6, *minSampled)
+		if rec.SampledSpeedup < *minSampled {
+			fail(fmt.Errorf("sampled sweep speedup %.2fx < %.2fx floor", rec.SampledSpeedup, *minSampled))
+		}
+	}
+	if *maxSampledErr > 0 {
+		if len(p.sampledRelErr) == 0 {
+			fail(fmt.Errorf("no SampledFigure7 max-rel-err samples in %s for the sampled-accuracy gate", *newPath))
+		}
+		fmt.Printf("benchgate: sampled sweep max Throughput rel err %.4f (MPKI %.4f, informational), ceiling %.4f\n",
+			rec.SampledMaxRelErr, rec.SampledMaxMPKIRelErr, *maxSampledErr)
+		if rec.SampledMaxRelErr > *maxSampledErr {
+			fail(fmt.Errorf("sampled sweep rel err %.4f > %.4f ceiling", rec.SampledMaxRelErr, *maxSampledErr))
 		}
 	}
 

@@ -80,6 +80,22 @@ type cellSpec struct {
 	MeasureRecords int64 `json:"measure_records,omitempty"`
 	// Seed overrides the simulator seed (default: base).
 	Seed *int64 `json:"seed,omitempty"`
+	// SamplePeriod enables interval sampling with functional warming:
+	// one interval of every SamplePeriod is simulated in detail and the
+	// rest are fast-forwarded; the result carries standard-error and
+	// confidence-interval fields and is an approximation, keyed
+	// separately from exact results. 0 or 1 (the default) is exact
+	// simulation.
+	SamplePeriod int64 `json:"sample_period,omitempty"`
+	// SampleInterval is the measured interval length in records per
+	// core (0 = default 500).
+	SampleInterval int64 `json:"sample_interval,omitempty"`
+	// SampleWarmup is the fraction of each interval re-simulated in
+	// detail before measuring (0 = default 0.25).
+	SampleWarmup float64 `json:"sample_warmup,omitempty"`
+	// SampleConfidence is the confidence level of the reported bounds:
+	// 0.90, 0.95 (default on 0), or 0.99.
+	SampleConfidence float64 `json:"sample_confidence,omitempty"`
 }
 
 // config resolves the wire cell against the server's base options.
@@ -124,6 +140,12 @@ func (c cellSpec) config(base shift.Options) (shift.Config, error) {
 	}
 	if c.Seed != nil {
 		cfg.Seed = *c.Seed
+	}
+	cfg.Sampling = shift.Sampling{
+		Period:          c.SamplePeriod,
+		IntervalRecords: c.SampleInterval,
+		WarmupFraction:  c.SampleWarmup,
+		Confidence:      c.SampleConfidence,
 	}
 	return cfg, nil
 }
@@ -227,8 +249,9 @@ func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
 // driver's rendered output as text/plain — byte-identical to `shiftsim
 // -experiment {name}` at the same options, since both dispatch through
 // shift.RunExperiment. Query parameters quick, workloads (comma-
-// separated), cores, seed, warmup, and measure override the server's
-// base options per request.
+// separated), cores, seed, warmup, measure, and sample (a sampling
+// period; the figure is then regenerated in sampled mode, trading
+// exactness for speed) override the server's base options per request.
 func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	opts, err := s.optionsFromQuery(r.URL.Query())
 	if err != nil {
@@ -277,6 +300,8 @@ func (s *server) optionsFromQuery(q url.Values) (shift.Options, error) {
 		{"warmup", &o.WarmupRecords},
 		{"measure", &o.MeasureRecords},
 		{"seed", &o.Seed},
+		{"sample", &o.Sampling.Period},
+		{"sample_interval", &o.Sampling.IntervalRecords},
 	} {
 		if v := q.Get(p.name); v != "" {
 			n, err := strconv.ParseInt(v, 10, 64)
@@ -327,6 +352,9 @@ type statsResponse struct {
 	// StreamsShared counts trace-stream generations avoided by
 	// batching (K-1 per batch of K cells).
 	StreamsShared int64 `json:"streams_shared"`
+	// SampledCells counts cells simulated in sampled mode (interval
+	// sampling with functional warming) rather than exactly.
+	SampledCells int64 `json:"sampled_cells"`
 }
 
 // handleStats serves GET /v1/stats.
@@ -343,6 +371,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Inflight:      es.Inflight,
 		Batched:       es.Batched,
 		StreamsShared: es.StreamsShared,
+		SampledCells:  es.SampledCells,
 	})
 }
 

@@ -345,3 +345,78 @@ func TestStatsEndpointShape(t *testing.T) {
 		}
 	}
 }
+
+// TestRunEndpointSampled: a cell with sample_period runs in sampled
+// mode, returns the error-bound fields, keys separately from its exact
+// twin, and bumps the engine's sampled-cell counter.
+func TestRunEndpointSampled(t *testing.T) {
+	ts, srv := newTestServer(t)
+	spec := map[string]any{
+		"workload": "Web Search", "design": "SHIFT",
+		"sample_period": 3, "sample_interval": 500,
+	}
+	var got runResponse
+	if code := postJSON(t, ts.URL+"/v1/run", spec, &got); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !got.Result.Sampled || got.Result.SampledIntervals != 4 {
+		t.Fatalf("sampled metadata wrong: %+v", got.Result)
+	}
+	if got.Result.ThroughputStdErr <= 0 || got.Result.MPKICI < got.Result.MPKIStdErr {
+		t.Fatalf("degenerate error bounds: %+v", got.Result)
+	}
+	exactCfg, err := cellSpec{Workload: "Web Search", Design: "SHIFT"}.config(srv.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key == exactCfg.Key() {
+		t.Error("sampled cell shares the exact cell's key")
+	}
+	// The wire cell resolves to the same config the library would use.
+	cfg := exactCfg
+	cfg.Sampling = shift.Sampling{Period: 3, IntervalRecords: 500}
+	want, err := shift.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Result, want) {
+		t.Error("served sampled result differs from library result")
+	}
+
+	var st statsResponse
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SampledCells != 1 {
+		t.Errorf("stats sampled_cells = %d, want 1", st.SampledCells)
+	}
+}
+
+// TestFigureEndpointSampled: the sample query parameter regenerates a
+// figure in sampled mode (different cells, same shape).
+func TestFigureEndpointSampled(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/figures/fig7?workloads=Web+Search&sample=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "Figure 7") {
+		t.Fatalf("sampled figure = %d %q", resp.StatusCode, body)
+	}
+	// A malformed policy is a client error, not a simulation failure.
+	resp2, err := http.Get(ts.URL + "/v1/figures/fig7?sample=-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusInternalServerError && resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative sample accepted: %d", resp2.StatusCode)
+	}
+}

@@ -11,6 +11,7 @@
 //	shiftsim -experiment fig8 -cache=false    # disable cell memoization
 //	shiftsim -experiment fig7 -v              # engine summary (batched cells etc.)
 //	shiftsim -experiment fig7 -no-batch       # disable stream batching (same output)
+//	shiftsim -experiment fig7 -sample 10      # interval sampling, 1-in-10 detailed
 //	shiftsim -experiment all -cache-dir ~/.shiftcache   # persist cells across runs
 //	shiftsim -experiment fig8 -cpuprofile cpu.out -memprofile mem.out
 //
@@ -50,6 +51,10 @@ func main() {
 		useCache   = flag.Bool("cache", true, "memoize per-cell results across experiments (shared baselines are simulated once)")
 		cacheDir   = flag.String("cache-dir", "", "persist per-cell results under this directory (tiered memory-over-disk store; a repeated sweep across process restarts simulates nothing)")
 		noBatch    = flag.Bool("no-batch", false, "disable shared-stream batching of grid cells (diagnostics; output is identical)")
+		sample     = flag.Int64("sample", 0, "sampling period: simulate 1 interval in N in detail and fast-forward the rest with functional warming (0 or 1 = exact, the default; sampled results carry error bounds and are approximations)")
+		sampleIntv = flag.Int64("sample-interval", 0, "measured interval length in records per core for -sample (0 = default 500)")
+		sampleWarm = flag.Float64("sample-warm", 0, "fraction of each interval re-simulated in detail before measuring for -sample (0 = default 0.25)")
+		sampleConf = flag.Float64("sample-confidence", 0, "confidence level of the reported error bounds for -sample: 0.90, 0.95, or 0.99 (0 = default 0.95)")
 		verbose    = flag.Bool("v", false, "print an engine summary (simulated/batched/stream-generations-avoided cells) after the runs")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after the runs) to this file")
@@ -96,6 +101,12 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Parallelism = *parallel
+	opts.Sampling = shift.Sampling{
+		Period:          *sample,
+		IntervalRecords: *sampleIntv,
+		WarmupFraction:  *sampleWarm,
+		Confidence:      *sampleConf,
+	}
 	switch {
 	case *cacheDir != "":
 		st, err := shift.NewTieredStore(*cacheDir)
@@ -157,8 +168,8 @@ func main() {
 	}
 	if *verbose {
 		es := engine.Stats()
-		fmt.Printf("[engine: %d cells simulated, %d batched, %d stream generations avoided, %d deduped]\n",
-			es.Simulated, es.Batched, es.StreamsShared, es.Deduped)
+		fmt.Printf("[engine: %d cells simulated (%d sampled), %d batched, %d stream generations avoided, %d deduped]\n",
+			es.Simulated, es.SampledCells, es.Batched, es.StreamsShared, es.Deduped)
 	}
 }
 

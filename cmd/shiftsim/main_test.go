@@ -68,3 +68,22 @@ func TestRunOneBadWorkload(t *testing.T) {
 		}
 	}
 }
+
+// TestRunOneSampled: the -sample flags thread through the shared
+// dispatch — a sampled figure renders with the same shape as exact.
+func TestRunOneSampled(t *testing.T) {
+	o := tinyOpts()
+	o.MeasureRecords = 10000
+	o.Sampling = shift.Sampling{Period: 4, IntervalRecords: 500}
+	out, err := runOne("fig7", o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 7") {
+		t.Errorf("sampled fig7 output missing header:\n%s", out)
+	}
+	o.Sampling.WarmupFraction = 1.5
+	if _, err := runOne("fig7", o, nil); err == nil {
+		t.Error("invalid sampling policy accepted")
+	}
+}

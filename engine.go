@@ -88,6 +88,10 @@ type Engine struct {
 	batched       atomic.Int64
 	streamsShared atomic.Int64
 	noBatch       bool
+
+	// sampledCells counts cells simulated in sampled mode (interval
+	// sampling with functional warming) rather than exactly.
+	sampledCells atomic.Int64
 }
 
 // NewEngine returns an engine with the given worker-pool bound
@@ -118,6 +122,9 @@ func (e *Engine) simulate(cfg Config) (RunResult, error) {
 	e.sem <- struct{}{}
 	defer func() { <-e.sem }()
 	e.simulated.Add(1)
+	if cfg.Sampling.Enabled() {
+		e.sampledCells.Add(1)
+	}
 	return Run(cfg)
 }
 
@@ -153,6 +160,11 @@ type EngineStats struct {
 	// batching: a batch of K cells generates its stream once instead of
 	// K times, contributing K-1.
 	StreamsShared int64
+	// SampledCells counts cells simulated in sampled mode (interval
+	// sampling with functional warming) rather than exactly. Sampled
+	// and exact results are keyed separately, so the two populations
+	// never mix in the store.
+	SampledCells int64
 }
 
 // Stats returns a snapshot of the engine's counters. Safe to call
@@ -164,6 +176,7 @@ func (e *Engine) Stats() EngineStats {
 		Inflight:      e.flight.Len(),
 		Batched:       e.batched.Load(),
 		StreamsShared: e.streamsShared.Load(),
+		SampledCells:  e.sampledCells.Load(),
 	}
 	if e.store != nil {
 		s.StoreHits, s.StoreMisses = e.store.Stats()
@@ -343,6 +356,9 @@ func (e *Engine) runOwnedBatch(cells []Cell, keys []string, owned []int, ownedCa
 			e.simulated.Add(int64(len(members)))
 			e.batched.Add(int64(len(members)))
 			e.streamsShared.Add(int64(len(members) - 1))
+			if cfgs[0].Sampling.Enabled() {
+				e.sampledCells.Add(int64(len(members)))
+			}
 			for mi, j := range members {
 				results[j] = rs[mi]
 				if e.store != nil {
@@ -360,6 +376,9 @@ func (e *Engine) runOwnedBatch(cells []Cell, keys []string, owned []int, ownedCa
 	for _, j := range members {
 		c := cells[owned[j]]
 		e.simulated.Add(1)
+		if c.Config.Sampling.Enabled() {
+			e.sampledCells.Add(1)
+		}
 		r, err := Run(c.Config)
 		if err != nil {
 			err = fmt.Errorf("cell %s: %w", c.Label, err)

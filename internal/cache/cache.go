@@ -942,3 +942,71 @@ func (c *Cache) CheckLRUInvariant() error {
 	}
 	return nil
 }
+
+// fpMix is the splitmix64 finalizer, used to decorrelate Fingerprint's
+// per-line field combinations.
+func fpMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Fingerprint returns a canonical hash of the cache's semantic content:
+// every valid line's block address, flag bits, recency stamp, and index
+// pointer, plus the replacement clock. Lines combine commutatively
+// within their set, so the physically unobservable way permutation
+// (move-to-front transposition; see promote) does not affect the value:
+// two caches with equal fingerprints respond identically to any
+// subsequent operation sequence. Used by the sampled-execution
+// differential tests to prove functional and detailed stepping leave
+// identical instruction-cache state.
+func (c *Cache) Fingerprint() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	nsets := int(c.setMask) + 1
+	for si := 0; si < nsets; si++ {
+		base := si * int(c.assoc)
+		var setH uint64
+		for w := 0; w < int(c.assoc); w++ {
+			li := base + w
+			if c.vlru[li] == 0 {
+				continue
+			}
+			setH += fpMix(c.tags[li] ^ fpMix(c.vlru[li]^fpMix(uint64(c.lines[li].pointer))))
+		}
+		h = (h ^ setH) * prime
+	}
+	return (h ^ c.lruClock) * prime
+}
+
+// CopyStateFrom makes c an exact replica of src, which must share c's
+// configuration (same geometry and layout). The sampled batch runner
+// uses it to catch followers' instruction caches up after a functional
+// fast-forward segment in which only the batch lead stepped the
+// (provably stream-pure, hence identical across members) L1-I: one
+// bulk copy per segment replaces a per-record probe per member.
+func (c *Cache) CopyStateFrom(src *Cache) {
+	if c.cfg != src.cfg {
+		panic("cache: CopyStateFrom across different configurations")
+	}
+	copy(c.lines, src.lines)
+	copy(c.tags, src.tags)
+	copy(c.vlru, src.vlru)
+	if c.scanTags != nil {
+		copy(c.scanTags, src.scanTags)
+	}
+	if c.listed {
+		copy(c.head, src.head)
+		copy(c.tail, src.tail)
+		copy(c.free, src.free)
+	}
+	if c.idx != nil {
+		copy(c.idx, src.idx)
+	}
+	c.lruClock = src.lruClock
+	c.stats = src.stats
+	c.pinLo, c.pinHi, c.pinEnabled = src.pinLo, src.pinHi, src.pinEnabled
+}

@@ -79,6 +79,21 @@ func (r *Replayer) OnAccess(a prefetch.Access) []prefetch.Request {
 	return r.out
 }
 
+// WarmAccess implements prefetch.Warmer: during functional warming only
+// the recording side of OnAccess runs — the generator core keeps
+// appending region records to the shared history (with the variant's
+// index updates and CBB flushes), while replay state (the SAB file) and
+// prefetch issue are skipped. Non-generator cores do nothing: SHIFT's
+// only slow-warming per-workload state is the shared history itself.
+func (r *Replayer) WarmAccess(blk trace.BlockAddr, _ bool) {
+	if r.IsGenerator() {
+		if r.sh.record(r.coreID, blk) {
+			r.stats.RecordsWritten++
+			r.stats.IndexUpdates++
+		}
+	}
+}
+
 // allocate claims a stream, performs the initial history read, and emits
 // the first prefetch window.
 func (r *Replayer) allocate(pos uint64, current trace.BlockAddr) {
@@ -157,4 +172,5 @@ func (r *Replayer) emitWindow(si int, current trace.BlockAddr, delay int64) {
 var (
 	_ prefetch.Prefetcher    = (*Replayer)(nil)
 	_ prefetch.StatsReporter = (*Replayer)(nil)
+	_ prefetch.Warmer        = (*Replayer)(nil)
 )

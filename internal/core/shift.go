@@ -310,6 +310,11 @@ type SharedStats struct {
 	WritePos       uint64
 }
 
+// History exposes the shared history buffer (read-only use: the
+// functional-vs-detailed warm-state differential tests compare history
+// contents across stepping modes).
+func (sh *SharedHistory) History() *history.Buffer { return sh.buf }
+
 // Stats returns the shared-side counters.
 func (sh *SharedHistory) Stats() SharedStats {
 	return SharedStats{

@@ -171,6 +171,26 @@ func (p *PIF) OnAccess(a prefetch.Access) []prefetch.Request {
 	return p.out
 }
 
+// WarmAccess implements prefetch.Warmer: during functional warming only
+// the recording side of OnAccess runs — the core keeps compacting its
+// access stream into history records and index updates, while replay
+// state (the SAB file) and prefetch issue are skipped. PIF records the
+// full access stream, which is a property of the program alone, so the
+// warmed history is identical to what detailed stepping would build.
+func (p *PIF) WarmAccess(blk trace.BlockAddr, _ bool) {
+	if rec, done := p.builder.Add(blk); done {
+		pos := p.buf.Append(rec)
+		p.index.Update(rec.Trigger, pos)
+		p.stats.RecordsWritten++
+		p.stats.IndexUpdates++
+	}
+}
+
+// History exposes the private history buffer (read-only use: the
+// functional-vs-detailed warm-state differential tests compare history
+// contents across stepping modes).
+func (p *PIF) History() *history.Buffer { return p.buf }
+
 // readAhead tops stream si up with `needed` records.
 func (p *PIF) readAhead(si, needed int) {
 	pos := p.sab.NextPos(si)
@@ -205,4 +225,5 @@ func (c Config) StorageBits() int64 {
 var (
 	_ prefetch.Prefetcher    = (*PIF)(nil)
 	_ prefetch.StatsReporter = (*PIF)(nil)
+	_ prefetch.Warmer        = (*PIF)(nil)
 )

@@ -116,6 +116,27 @@ type StatsReporter interface {
 	PrefetchStats() Stats
 }
 
+// Warmer is implemented by prefetchers whose history must keep learning
+// while the simulator fast-forwards between detailed intervals of a
+// sampled run (SMARTS-style functional warming). WarmAccess applies the
+// history-generation side of OnAccess — region compaction and history/
+// index appends — without the replay machinery (stream address buffers,
+// prefetch issue) or any timing and traffic modelling, so the history a
+// detailed interval replays from is exactly as warm as continuous
+// detailed simulation would have left it.
+//
+// Like OnAccess, WarmAccess is on the hot path of its (functional) loop
+// and must be allocation-free in steady state.
+type Warmer interface {
+	// WarmAccess observes one retire-order access during functional
+	// warming. l1Hit is the L1-I outcome of the access; prefetch-buffer
+	// coverage is not modelled while warming (the buffer is a small
+	// timing structure that detailed warmup re-warms), so history
+	// generators keyed on the effective miss stream see the raw L1 miss
+	// stream instead.
+	WarmAccess(blk trace.BlockAddr, l1Hit bool)
+}
+
 // Null is the no-prefetch baseline.
 type Null struct{}
 

@@ -18,9 +18,9 @@ const batchBlockRounds = 8192
 
 // RunBatch executes several specs that consume the same trace stream in
 // a single pass: every spec must agree on the workload(s), the core
-// count, and the warmup/measure window, while the system configuration
-// (design point, seed, mode, history sizes, core type...) is free to
-// vary. The per-core record streams are generated once (chunked
+// count, the warmup/measure window, and the sampling policy, while the
+// system configuration (design point, seed, mode, history sizes, core
+// type...) is free to vary. The per-core record streams are generated once (chunked
 // producers, one zero-copy consumer view per member) and each member's
 // system steps off them in block-lockstep, so each member observes
 // exactly the per-core record order of a standalone Run — results are
@@ -151,56 +151,158 @@ func RunBatch(specs []RunSpec) ([]Result, error) {
 		}
 	}
 
-	if specs[0].WarmupRecords > 0 {
-		if err := runLockstep(systems, specs[0].WarmupRecords); err != nil {
+	warm, meas := specs[0].WarmupRecords, specs[0].MeasureRecords
+	for _, sys := range systems {
+		if err := sys.checkSupply(warm + meas); err != nil {
 			return nil, err
+		}
+	}
+	if p := specs[0].Sampling.Normalized(); p.Enabled() {
+		// Shared L1-I stepping for the functional segments: valid
+		// whenever every member runs the identical instruction-cache
+		// geometry (the cache's evolution is a pure function of the
+		// shared record stream, so all members' L1-Is hold identical
+		// content at every aligned round). The lead probes, followers
+		// replay the hit bit, and each functional segment ends with a
+		// bulk state copy into the followers.
+		shareL1 := true
+		for m := 1; m < k && shareL1; m++ {
+			shareL1 = specs[m].Config.L1I == specs[0].Config.L1I
+		}
+		if shareL1 {
+			blkBuf := make([]uint64, batchBlockRounds*cores)
+			missBuf := make([]uint64, batchBlockRounds*cores)
+			missCnt := make([]int32, cores)
+			rounds := make([]int32, cores)
+			for m, sys := range systems {
+				sys.fnBlkBuf = blkBuf
+				sys.l1Lead = m == 0
+				sys.fnMissBuf = missBuf
+				sys.fnMissCnt = missCnt
+				sys.fnRounds = rounds
+			}
+		}
+		// Sampled batch: every member walks the identical deterministic
+		// segment schedule (validated equal by checkStreamCompatible),
+		// so the lockstep replay buffers stay aligned across stepping
+		// modes and each member's result is bit-identical to its
+		// standalone RunSampled.
+		var done int64
+		for _, seg := range p.segments(warm, meas) {
+			for _, sys := range systems {
+				sys.applySegment(seg)
+			}
+			if seg.measured {
+				for _, sys := range systems {
+					sys.BeginInterval()
+				}
+			}
+			ran, err := runLockstep(systems, seg.rounds)
+			if err != nil {
+				return nil, err
+			}
+			if seg.functional && shareL1 {
+				// Catch the followers' instruction caches up with the
+				// stepping the lead performed on everyone's behalf.
+				lead := systems[0]
+				for _, sys := range systems[1:] {
+					for c := range sys.l1i {
+						sys.l1i[c].CopyStateFrom(lead.l1i[c])
+					}
+				}
+			}
+			done += ran
+			if ran < seg.rounds {
+				phase := "measure"
+				if done <= warm {
+					phase = "warmup"
+				}
+				return nil, &StreamShortError{Phase: phase, Core: -1, Need: warm + meas, Have: done}
+			}
+			if seg.measured {
+				for _, sys := range systems {
+					sys.EndInterval()
+				}
+			}
+		}
+		out := make([]Result, k)
+		for m, sys := range systems {
+			sys.setFunctional(false)
+			if err := sys.checkConsumed(make([]int64, cores), warm+meas); err != nil {
+				return nil, err
+			}
+			// Per-member policy: members may differ in the reporting
+			// confidence level (it never touches the schedule).
+			out[m] = sys.SampledResults(specs[m].Sampling)
+		}
+		return out, nil
+	}
+
+	if warm > 0 {
+		ran, err := runLockstep(systems, warm)
+		if err != nil {
+			return nil, err
+		}
+		if ran < warm {
+			return nil, &StreamShortError{Phase: "warmup", Core: -1, Need: warm, Have: ran}
 		}
 	}
 	for _, sys := range systems {
 		sys.MarkMeasurement()
 	}
-	if err := runLockstep(systems, specs[0].MeasureRecords); err != nil {
+	ran, err := runLockstep(systems, meas)
+	if err != nil {
 		return nil, err
+	}
+	if ran < meas {
+		return nil, &StreamShortError{Phase: "measure", Core: -1, Need: meas, Have: ran}
 	}
 	out := make([]Result, k)
 	for m, sys := range systems {
+		// Catch a single dry stream the round loop papered over (see
+		// System.checkConsumed); batch systems start at zero consumed.
+		if err := sys.checkConsumed(make([]int64, cores), warm+meas); err != nil {
+			return nil, err
+		}
 		out[m] = sys.Results()
 	}
 	return out, nil
 }
 
-// runLockstep advances every system by `records` rounds in blocks of
-// batchBlockRounds: the lead runs a block (recording shared outcomes),
-// then each follower replays the same block. Streams never end for the
-// synthetic workload views, but if the lead ever stops early the
-// followers are capped to the same round so the batch stays aligned.
-func runLockstep(systems []*System, records int64) error {
+// runLockstep advances every system by up to `records` rounds in blocks
+// of batchBlockRounds — the lead runs a block (recording shared
+// outcomes), then each follower replays the same block — and returns
+// the rounds completed. Streams never end for the synthetic workload
+// views, but if the lead ever stops early the followers are capped to
+// the same round so the batch stays aligned, and the shortfall is
+// visible to the caller.
+func runLockstep(systems []*System, records int64) (int64, error) {
 	for off := int64(0); off < records; {
 		n := records - off
 		if n > batchBlockRounds {
 			n = batchBlockRounds
 		}
-		systems[0].bpPos, systems[0].dsPos = 0, 0
+		systems[0].bpPos, systems[0].dsPos, systems[0].l1Pos, systems[0].missPos = 0, 0, 0, 0
 		ran, err := systems[0].runRounds(n)
 		if err != nil {
-			return err
+			return off, err
 		}
 		for _, sys := range systems[1:] {
-			sys.bpPos, sys.dsPos = 0, 0
+			sys.bpPos, sys.dsPos, sys.l1Pos, sys.missPos = 0, 0, 0, 0
 			fran, err := sys.runRounds(ran)
 			if err != nil {
-				return err
+				return off, err
 			}
 			if fran != ran {
-				return fmt.Errorf("sim: batch member diverged: %d rounds vs lead's %d", fran, ran)
+				return off, fmt.Errorf("sim: batch member diverged: %d rounds vs lead's %d", fran, ran)
 			}
 		}
+		off += ran
 		if ran < n {
-			return nil
+			return off, nil
 		}
-		off += n
 	}
-	return nil
+	return records, nil
 }
 
 // checkStreamCompatible verifies that every spec consumes the same
@@ -216,6 +318,9 @@ func checkStreamCompatible(specs []RunSpec) error {
 		case s.WarmupRecords != ref.WarmupRecords || s.MeasureRecords != ref.MeasureRecords:
 			return fmt.Errorf("sim: batch spec %d: window %d+%d records, spec 0 has %d+%d",
 				i, s.WarmupRecords, s.MeasureRecords, ref.WarmupRecords, ref.MeasureRecords)
+		case !s.Sampling.scheduleEqual(ref.Sampling):
+			return fmt.Errorf("sim: batch spec %d: sampling policy %+v differs from spec 0's %+v",
+				i, s.Sampling, ref.Sampling)
 		case len(s.Groups) != len(ref.Groups):
 			return fmt.Errorf("sim: batch spec %d: %d groups, spec 0 has %d", i, len(s.Groups), len(ref.Groups))
 		}

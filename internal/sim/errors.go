@@ -1,0 +1,40 @@
+package sim
+
+import "fmt"
+
+// StreamShortError reports a run whose trace streams cannot supply —
+// or, detected at runtime, did not supply — the requested
+// warmup+measure window. It replaces the former silent behavior of
+// measuring however many records the streams happened to produce,
+// which made short windows look like valid (but wrong) results.
+//
+// Match it with errors.As:
+//
+//	var short *sim.StreamShortError
+//	if errors.As(err, &short) { ... }
+type StreamShortError struct {
+	// Phase names where the shortage was detected: "validate" (a
+	// reader declared its remaining supply up front via
+	// trace.Supplier), "warmup", or "measure" (the stream ended
+	// mid-phase).
+	Phase string
+	// Core is the offending core for upfront checks, or -1 when the
+	// shortage was detected mid-run (all cores were already exhausted).
+	Core int
+	// Need is the number of records per core the phase required; for
+	// the validate phase it is the whole warmup+measure window.
+	Need int64
+	// Have is the number of records available (validate) or actually
+	// completed (warmup/measure).
+	Have int64
+}
+
+// Error implements error.
+func (e *StreamShortError) Error() string {
+	if e.Phase == "validate" {
+		return fmt.Sprintf("sim: core %d stream supplies %d records, window needs %d",
+			e.Core, e.Have, e.Need)
+	}
+	return fmt.Sprintf("sim: stream exhausted during %s after %d of %d records per core",
+		e.Phase, e.Have, e.Need)
+}

@@ -70,6 +70,65 @@ type measurement struct {
 	bpMiss      []int64
 }
 
+// newMeasurement returns a zeroed measurement with all per-core slices
+// allocated.
+func newMeasurement(n int) measurement {
+	return measurement{
+		cycles:      make([]int64, n),
+		instrs:      make([]int64, n),
+		fetchStall:  make([]int64, n),
+		branchStall: make([]int64, n),
+		records:     make([]int64, n),
+		l1:          make([]cache.Stats, n),
+		fetch:       make([]FetchStats, n),
+		pf:          make([]prefetch.Stats, n),
+		bpPred:      make([]int64, n),
+		bpMiss:      make([]int64, n),
+	}
+}
+
+// sub subtracts b from m in place (m -= b), turning two snapshots into
+// a window delta.
+func (m *measurement) sub(b *measurement) {
+	for i := range m.cycles {
+		m.cycles[i] -= b.cycles[i]
+		m.instrs[i] -= b.instrs[i]
+		m.fetchStall[i] -= b.fetchStall[i]
+		m.branchStall[i] -= b.branchStall[i]
+		m.records[i] -= b.records[i]
+		m.l1[i] = subCache(m.l1[i], b.l1[i])
+		m.fetch[i] = subFetch(m.fetch[i], b.fetch[i])
+		m.pf[i] = subPf(m.pf[i], b.pf[i])
+		m.bpPred[i] -= b.bpPred[i]
+		m.bpMiss[i] -= b.bpMiss[i]
+	}
+	for c := 0; c < noc.NumClasses; c++ {
+		m.traffic[c] -= b.traffic[c]
+		m.hops[c] -= b.hops[c]
+	}
+}
+
+// add accumulates the delta d into m (m += d); sampled runs sum their
+// measured-interval deltas this way.
+func (m *measurement) add(d *measurement) {
+	for i := range m.cycles {
+		m.cycles[i] += d.cycles[i]
+		m.instrs[i] += d.instrs[i]
+		m.fetchStall[i] += d.fetchStall[i]
+		m.branchStall[i] += d.branchStall[i]
+		m.records[i] += d.records[i]
+		m.l1[i] = addCache(m.l1[i], d.l1[i])
+		m.fetch[i] = addFetch(m.fetch[i], d.fetch[i])
+		m.pf[i].Add(d.pf[i])
+		m.bpPred[i] += d.bpPred[i]
+		m.bpMiss[i] += d.bpMiss[i]
+	}
+	for c := 0; c < noc.NumClasses; c++ {
+		m.traffic[c] += d.traffic[c]
+		m.hops[c] += d.hops[c]
+	}
+}
+
 func (s *System) snapshot() measurement {
 	n := s.cfg.Cores
 	m := measurement{
@@ -154,6 +213,12 @@ type Result struct {
 	// Traffic per message class, and hop counts for energy estimation.
 	Traffic [noc.NumClasses]int64
 	Hops    [noc.NumClasses]int64
+
+	// Sampled carries the per-metric error bounds of a sampled run
+	// (interval count, standard errors, confidence intervals); it is
+	// nil for exact runs. When set, every other field aggregates the
+	// measured detailed intervals only.
+	Sampled *SampleStats
 }
 
 func subCache(a, b cache.Stats) cache.Stats {
@@ -185,6 +250,14 @@ func subPf(a, b prefetch.Stats) prefetch.Stats {
 // Results computes the measurement-window deltas since MarkMeasurement.
 func (s *System) Results() Result {
 	cur := s.snapshot()
+	cur.sub(&s.base)
+	return s.resultFromDelta(&cur)
+}
+
+// resultFromDelta summarizes one window delta (an exact run's whole
+// measurement window, or a sampled run's aggregated intervals) into a
+// Result.
+func (s *System) resultFromDelta(d *measurement) Result {
 	n := s.cfg.Cores
 	res := Result{
 		Label:    s.cfg.Prefetcher.Name(),
@@ -196,14 +269,14 @@ func (s *System) Results() Result {
 	var bpPred, bpMiss int64
 	for i := 0; i < n; i++ {
 		cr := CoreResult{
-			Cycles:       cur.cycles[i] - s.base.cycles[i],
-			Instructions: cur.instrs[i] - s.base.instrs[i],
-			Records:      cur.records[i] - s.base.records[i],
-			FetchStall:   cur.fetchStall[i] - s.base.fetchStall[i],
-			BranchStall:  cur.branchStall[i] - s.base.branchStall[i],
-			L1I:          subCache(cur.l1[i], s.base.l1[i]),
-			Fetch:        subFetch(cur.fetch[i], s.base.fetch[i]),
-			Pf:           subPf(cur.pf[i], s.base.pf[i]),
+			Cycles:       d.cycles[i],
+			Instructions: d.instrs[i],
+			Records:      d.records[i],
+			FetchStall:   d.fetchStall[i],
+			BranchStall:  d.branchStall[i],
+			L1I:          d.l1[i],
+			Fetch:        d.fetch[i],
+			Pf:           d.pf[i],
 		}
 		if cr.Cycles > 0 {
 			cr.IPC = float64(cr.Instructions) / float64(cr.Cycles)
@@ -216,8 +289,8 @@ func (s *System) Results() Result {
 		res.L1I = addCache(res.L1I, cr.L1I)
 		res.Fetch = addFetch(res.Fetch, cr.Fetch)
 		res.Pf.Add(cr.Pf)
-		bpPred += cur.bpPred[i] - s.base.bpPred[i]
-		bpMiss += cur.bpMiss[i] - s.base.bpMiss[i]
+		bpPred += d.bpPred[i]
+		bpMiss += d.bpMiss[i]
 	}
 	res.FetchStallFraction = stallFracSum / float64(n)
 	if bpPred > 0 {
@@ -228,10 +301,8 @@ func (s *System) Results() Result {
 	if res.Instructions > 0 {
 		res.MPKI = float64(res.Fetch.Misses) / float64(res.Instructions) * 1000
 	}
-	for c := 0; c < noc.NumClasses; c++ {
-		res.Traffic[c] = cur.traffic[c] - s.base.traffic[c]
-		res.Hops[c] = cur.hops[c] - s.base.hops[c]
-	}
+	res.Traffic = d.traffic
+	res.Hops = d.hops
 	return res
 }
 

@@ -25,6 +25,10 @@ type RunSpec struct {
 	// WarmupRecords and MeasureRecords are per-core record counts.
 	WarmupRecords  int64
 	MeasureRecords int64
+	// Sampling optionally enables SMARTS-style interval sampling with
+	// functional warming between detailed intervals (see Sampling). The
+	// zero value keeps the exact methodology, which is the default.
+	Sampling Sampling
 }
 
 // Validate reports the first problem with r, or nil.
@@ -37,6 +41,16 @@ func (r RunSpec) Validate() error {
 	}
 	if r.WarmupRecords < 0 {
 		return fmt.Errorf("sim: WarmupRecords %d < 0", r.WarmupRecords)
+	}
+	if err := r.Sampling.Validate(); err != nil {
+		return err
+	}
+	// At least two measured intervals must fit: a single interval has
+	// no dispersion to estimate, so its "error bounds" would read as
+	// zero — false confidence for the least-trustworthy configuration.
+	if p := r.Sampling.withDefaults(); p.Enabled() && p.Intervals(r.MeasureRecords) < 2 {
+		return fmt.Errorf("sim: MeasureRecords %d fits fewer than two sampling intervals (chunk is %d records: period %d x interval %d)",
+			r.MeasureRecords, p.chunkRounds(), p.Period, p.IntervalRecords)
 	}
 	if len(r.Groups) != len(r.GroupWorkloads) {
 		return fmt.Errorf("sim: %d groups but %d group workloads", len(r.Groups), len(r.GroupWorkloads))
@@ -98,14 +112,129 @@ func Run(spec RunSpec) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if spec.WarmupRecords > 0 {
-		if err := sys.Run(spec.WarmupRecords); err != nil {
-			return Result{}, err
+	if spec.Sampling.Enabled() {
+		return sys.RunSampled(spec.WarmupRecords, spec.MeasureRecords, spec.Sampling)
+	}
+	return sys.RunMeasured(spec.WarmupRecords, spec.MeasureRecords)
+}
+
+// checkSupply rejects, up front, streams that declare (via
+// trace.Supplier) fewer records than the window needs.
+func (s *System) checkSupply(need int64) error {
+	for i, r := range s.readers {
+		if sup, ok := r.(trace.Supplier); ok {
+			if have := sup.Supply(); have < need {
+				return &StreamShortError{Phase: "validate", Core: i, Need: need, Have: have}
+			}
 		}
 	}
-	sys.MarkMeasurement()
-	if err := sys.Run(spec.MeasureRecords); err != nil {
+	return nil
+}
+
+// consumedBase snapshots the per-core consumed-record counters so
+// checkConsumed can verify a window afterwards.
+func (s *System) consumedBase() []int64 {
+	base := make([]int64, len(s.records))
+	copy(base, s.records)
+	return base
+}
+
+// checkConsumed verifies that every core consumed the full window since
+// base. The lockstep round loop keeps counting rounds while any core is
+// still active, so a single dry stream would otherwise short-measure
+// its core silently while the run as a whole reports success.
+func (s *System) checkConsumed(base []int64, need int64) error {
+	for c := range s.records {
+		if got := s.records[c] - base[c]; got < need {
+			return &StreamShortError{Phase: "measure", Core: c, Need: need, Have: got}
+		}
+	}
+	return nil
+}
+
+// RunMeasured executes the exact methodology on an already-constructed
+// system: warmup, measurement mark, measure window, Results. Unlike Run
+// (which it backs) it works with custom trace readers; a stream that
+// cannot supply the full window fails with a *StreamShortError instead
+// of silently measuring fewer records.
+func (s *System) RunMeasured(warmup, measure int64) (Result, error) {
+	if measure <= 0 {
+		return Result{}, fmt.Errorf("sim: MeasureRecords %d <= 0", measure)
+	}
+	if err := s.checkSupply(warmup + measure); err != nil {
 		return Result{}, err
 	}
-	return sys.Results(), nil
+	base := s.consumedBase()
+	if warmup > 0 {
+		ran, err := s.runRounds(warmup)
+		if err != nil {
+			return Result{}, err
+		}
+		if ran < warmup {
+			return Result{}, &StreamShortError{Phase: "warmup", Core: -1, Need: warmup, Have: ran}
+		}
+	}
+	s.MarkMeasurement()
+	ran, err := s.runRounds(measure)
+	if err != nil {
+		return Result{}, err
+	}
+	if ran < measure {
+		return Result{}, &StreamShortError{Phase: "measure", Core: -1, Need: measure, Have: ran}
+	}
+	if err := s.checkConsumed(base, warmup+measure); err != nil {
+		return Result{}, err
+	}
+	return s.Results(), nil
+}
+
+// RunSampled executes the sampled methodology on an already-constructed
+// system: the deterministic schedule of functional fast-forwarding and
+// detailed intervals that p lays out over the warmup+measure window
+// (see Sampling). Short streams fail with a *StreamShortError exactly
+// like RunMeasured.
+func (s *System) RunSampled(warmup, measure int64, p Sampling) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !p.Enabled() {
+		return s.RunMeasured(warmup, measure)
+	}
+	if p.withDefaults().Intervals(measure) < 2 {
+		return Result{}, fmt.Errorf("sim: MeasureRecords %d fits fewer than two sampling intervals", measure)
+	}
+	if err := s.checkSupply(warmup + measure); err != nil {
+		return Result{}, err
+	}
+	base := s.consumedBase()
+	var done int64
+	need := warmup + measure
+	for _, seg := range p.segments(warmup, measure) {
+		s.applySegment(seg)
+		if seg.measured {
+			s.BeginInterval()
+		}
+		ran, err := s.runRounds(seg.rounds)
+		if err != nil {
+			s.setFunctional(false)
+			return Result{}, err
+		}
+		done += ran
+		if ran < seg.rounds {
+			s.setFunctional(false)
+			phase := "measure"
+			if done <= warmup {
+				phase = "warmup"
+			}
+			return Result{}, &StreamShortError{Phase: phase, Core: -1, Need: need, Have: done}
+		}
+		if seg.measured {
+			s.EndInterval()
+		}
+	}
+	s.setFunctional(false)
+	if err := s.checkConsumed(base, need); err != nil {
+		return Result{}, err
+	}
+	return s.SampledResults(p), nil
 }

@@ -1,0 +1,669 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"shift/internal/core"
+	"shift/internal/tifs"
+	"shift/internal/trace"
+)
+
+// This file implements SMARTS-style interval sampling: instead of
+// stepping the full detailed model over every record of the measurement
+// window, a sampled run alternates short detailed intervals with cheap
+// functional fast-forwarding, and reports each metric together with the
+// dispersion of its per-interval samples (standard error and a
+// confidence interval).
+//
+// The schedule is deterministic — a pure function of the Sampling
+// policy and the window lengths — so a sampled run is exactly as
+// reproducible as an exact one: same policy, same seed, same stream →
+// bit-identical Result, standalone or batched (RunBatch members share
+// the schedule round for round).
+//
+// The functional stepping path (System.warmCore) keeps the
+// slow-warming state learning while the clock stands still:
+//
+//   - the branch predictor keeps evolving (a pure function of the
+//     record stream);
+//   - the L1-I content keeps evolving through the identical demand
+//     lookup/insert the detailed path performs (content is a pure
+//     function of the record stream — prefetches fill a separate
+//     buffer, never the L1-I — so functional and detailed stepping
+//     leave bit-identical instruction caches);
+//   - prefetcher history generation keeps appending through the
+//     design's prefetch.Warmer hook (region compaction, history and
+//     index writes).
+//
+// Everything that is timing, traffic, or replay bookkeeping is
+// skipped: cycle accounting, exposed-stall computation, MSHR
+// allocation/expiry, prefetch issue, the stream-address-buffer replay
+// machinery, NoC message/hop accounting, background data-side traffic
+// (and its RNG draws — functional rounds are RNG-neutral), and the
+// per-record statistics counters. Those structures re-warm during each
+// interval's detailed-warmup prefix, which is exactly what the warmup
+// fraction of the policy buys.
+
+// Sampling configures interval sampling for a run. The zero value (and
+// any Period below 2) means exact simulation: every record is stepped
+// through the full detailed model, which remains the default
+// everywhere.
+type Sampling struct {
+	// Period is the sampling period in intervals: one interval of every
+	// Period is simulated in detail and measured; the remaining
+	// Period-1 are fast-forwarded with functional warming. 0 or 1
+	// disables sampling (exact simulation).
+	Period int64
+	// IntervalRecords is the length of one interval in records per core
+	// (equivalently, lockstep rounds). 0 means the default (500).
+	IntervalRecords int64
+	// WarmupFraction is the fraction of IntervalRecords simulated in
+	// detail — but excluded from measurement — immediately before each
+	// measured interval, re-warming the timing structures (prefetch
+	// buffer, MSHRs, replay streams) that functional fast-forwarding
+	// froze. 0 means the default (0.25); it must stay below 1.
+	WarmupFraction float64
+	// Confidence selects the confidence level of the reported
+	// per-metric intervals: 0.90, 0.95, or 0.99. 0 means the default
+	// (0.95).
+	Confidence float64
+}
+
+// Default policy knobs (applied by withDefaults when a field is zero).
+const (
+	defaultIntervalRecords = 500
+	defaultWarmupFraction  = 0.25
+	defaultConfidence      = 0.95
+)
+
+// Functional LLC warming runs in two zones per gap (see segments): far
+// from the next detailed interval, every llcFarStride-th L1-missed
+// record per core performs the demand lookup/insert on its LLC bank —
+// enough to keep megabyte-scale bank contents tracking the access
+// stream at a fraction of the probe cost — while the final
+// llcNearRounds of each gap warm on every miss, so the interval opens
+// on a bank state whose recent working set matches what continuous
+// detailed simulation would have inserted. Both are powers of two /
+// fixed constants, so the schedule stays a pure function of the
+// policy.
+const (
+	llcFarStride  = 8
+	llcNearRounds = 3072
+)
+
+// Enabled reports whether the policy actually samples (Period >= 2).
+func (p Sampling) Enabled() bool { return p.Period > 1 }
+
+// Normalized returns the policy in canonical form: a disabled policy
+// collapses to the zero value and an enabled one has its defaults
+// filled in, so policies that run identically compare — and hash —
+// equal. Storage keys and batch compatibility are computed over the
+// normalized form.
+func (p Sampling) Normalized() Sampling {
+	if !p.Enabled() {
+		return Sampling{}
+	}
+	return p.withDefaults()
+}
+
+// scheduleEqual reports whether two policies lay out the identical
+// lockstep schedule; Confidence only affects how the error bounds are
+// reported, never a single simulated record.
+func (p Sampling) scheduleEqual(o Sampling) bool {
+	p, o = p.Normalized(), o.Normalized()
+	p.Confidence, o.Confidence = 0, 0
+	return p == o
+}
+
+// withDefaults fills zero fields of an enabled policy.
+func (p Sampling) withDefaults() Sampling {
+	if !p.Enabled() {
+		return p
+	}
+	if p.IntervalRecords == 0 {
+		p.IntervalRecords = defaultIntervalRecords
+	}
+	if p.WarmupFraction == 0 {
+		p.WarmupFraction = defaultWarmupFraction
+	}
+	if p.Confidence == 0 {
+		p.Confidence = defaultConfidence
+	}
+	return p
+}
+
+// Validate reports the first problem with p, or nil. A disabled policy
+// is always valid.
+func (p Sampling) Validate() error {
+	if p.Period < 0 {
+		return fmt.Errorf("sim: sampling Period %d < 0", p.Period)
+	}
+	if !p.Enabled() {
+		return nil
+	}
+	if p.IntervalRecords < 0 {
+		return fmt.Errorf("sim: sampling IntervalRecords %d < 0", p.IntervalRecords)
+	}
+	if p.WarmupFraction < 0 || p.WarmupFraction >= 1 {
+		return fmt.Errorf("sim: sampling WarmupFraction %v out of [0,1)", p.WarmupFraction)
+	}
+	switch p.Confidence {
+	case 0, 0.90, 0.95, 0.99:
+	default:
+		return fmt.Errorf("sim: sampling Confidence %v (want 0.90, 0.95, or 0.99)", p.Confidence)
+	}
+	return nil
+}
+
+// z returns the normal quantile for the policy's confidence level.
+func (p Sampling) z() float64 {
+	switch p.withDefaults().Confidence {
+	case 0.90:
+		return 1.6449
+	case 0.99:
+		return 2.5758
+	default:
+		return 1.9600
+	}
+}
+
+// chunkRounds is the length of one sampling unit (one measured interval
+// plus its functional gap and detailed warmup) in lockstep rounds.
+func (p Sampling) chunkRounds() int64 { return p.Period * p.IntervalRecords }
+
+// warmupRounds is the detailed-but-unmeasured prefix of each measured
+// interval in lockstep rounds.
+func (p Sampling) warmupRounds() int64 {
+	return int64(p.WarmupFraction * float64(p.IntervalRecords))
+}
+
+// Intervals returns how many measured intervals fit into a measurement
+// window of `measure` records per core.
+func (p Sampling) Intervals(measure int64) int64 {
+	p = p.withDefaults()
+	if !p.Enabled() || p.chunkRounds() <= 0 {
+		return 0
+	}
+	return measure / p.chunkRounds()
+}
+
+// segment is one contiguous slice of the sampled schedule.
+type segment struct {
+	// rounds is the segment length in lockstep rounds.
+	rounds int64
+	// functional selects the fast-forward stepping path.
+	functional bool
+	// measured marks a detailed interval bracketed by Begin/EndInterval.
+	measured bool
+	// llcMask is the functional LLC-warming stride minus one (stride is
+	// a power of two): 0 warms on every L1 miss, llcFarStride-1 on
+	// every llcFarStride-th per core. Meaningful only with functional.
+	llcMask uint32
+}
+
+// appendFunctional splits a functional stretch into the far (strided
+// LLC warming) and near (full LLC warming) zones.
+func appendFunctional(segs []segment, rounds int64) []segment {
+	if rounds <= 0 {
+		return segs
+	}
+	if far := rounds - llcNearRounds; far > 0 {
+		segs = append(segs, segment{far, true, false, llcFarStride - 1})
+		rounds = llcNearRounds
+	}
+	return append(segs, segment{rounds, true, false, 0})
+}
+
+// segments lays the whole run out deterministically: the spec warmup is
+// fast-forwarded functionally, then the measurement window is cut into
+// chunks of Period*IntervalRecords rounds — a functional gap, a
+// detailed (unmeasured) warmup of WarmupFraction*IntervalRecords
+// rounds, and the measured interval — with any trailing remainder
+// fast-forwarded functionally, so a sampled run consumes exactly the
+// records its exact counterpart would.
+func (p Sampling) segments(warmup, measure int64) []segment {
+	p = p.withDefaults()
+	var segs []segment
+	chunk := p.chunkRounds()
+	warm := p.warmupRounds()
+	gap := chunk - p.IntervalRecords - warm
+	n := measure / chunk
+	// The spec warmup runs functionally; when it flows directly into a
+	// measured chunk's gap the two form one functional stretch, so the
+	// near-zone split applies to their union.
+	head := warmup
+	if n > 0 {
+		head += gap
+	}
+	segs = appendFunctional(segs, head)
+	for i := int64(0); i < n; i++ {
+		if i > 0 {
+			segs = appendFunctional(segs, gap)
+		}
+		if warm > 0 {
+			segs = append(segs, segment{warm, false, false, 0})
+		}
+		segs = append(segs, segment{p.IntervalRecords, false, true, 0})
+	}
+	if rem := measure - n*chunk; rem > 0 {
+		segs = appendFunctional(segs, rem)
+	}
+	return segs
+}
+
+// MetricEstimate reports the per-interval dispersion of one metric of a
+// sampled run.
+type MetricEstimate struct {
+	// Mean is the mean of the per-interval samples. It can differ
+	// slightly from the headline (ratio-of-sums) point estimate in the
+	// Result, which aggregates raw counters across intervals.
+	Mean float64
+	// StdErr is the standard error of the mean across intervals.
+	StdErr float64
+	// CIHalfWidth is the half width of the confidence interval at the
+	// policy's confidence level (z * StdErr).
+	CIHalfWidth float64
+}
+
+// estimate summarizes samples at normal quantile z.
+func estimate(samples []float64, z float64) MetricEstimate {
+	n := len(samples)
+	if n == 0 {
+		return MetricEstimate{}
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	mean := sum / float64(n)
+	est := MetricEstimate{Mean: mean}
+	if n > 1 {
+		var ss float64
+		for _, v := range samples {
+			d := v - mean
+			ss += d * d
+		}
+		est.StdErr = math.Sqrt(ss/float64(n-1)) / math.Sqrt(float64(n))
+		est.CIHalfWidth = z * est.StdErr
+	}
+	return est
+}
+
+// SampleStats is the error-bound report of a sampled run, attached to
+// its Result.
+type SampleStats struct {
+	// Intervals is the number of measured detailed intervals.
+	Intervals int
+	// Confidence is the confidence level of the CIHalfWidth fields.
+	Confidence float64
+	// MPKI and Throughput summarize the per-interval samples of the two
+	// headline metrics.
+	MPKI, Throughput MetricEstimate
+}
+
+// setFunctional switches the stepping mode used by runRounds.
+func (s *System) setFunctional(on bool) { s.functional = on }
+
+// applySegment arms the stepping mode and the functional LLC-warming
+// stride for one schedule segment.
+func (s *System) applySegment(seg segment) {
+	s.functional = seg.functional
+	s.llcMask = seg.llcMask
+}
+
+// BeginInterval snapshots all counters at the start of a measured
+// interval; EndInterval turns the delta into one per-interval sample.
+func (s *System) BeginInterval() { s.intervalStart = s.snapshot() }
+
+// EndInterval closes the interval opened by BeginInterval: the counter
+// delta joins the run's aggregate measurement and contributes one
+// sample per tracked metric.
+func (s *System) EndInterval() {
+	d := s.snapshot()
+	d.sub(&s.intervalStart)
+	if s.sampleAgg.cycles == nil {
+		s.sampleAgg = d
+	} else {
+		s.sampleAgg.add(&d)
+	}
+	var instrs, misses int64
+	var tput float64
+	for i := range d.instrs {
+		instrs += d.instrs[i]
+		misses += d.fetch[i].Misses
+		if d.cycles[i] > 0 {
+			tput += float64(d.instrs[i]) / float64(d.cycles[i])
+		}
+	}
+	mpki := 0.0
+	if instrs > 0 {
+		mpki = float64(misses) / float64(instrs) * 1000
+	}
+	s.mpkiSamples = append(s.mpkiSamples, mpki)
+	s.tputSamples = append(s.tputSamples, tput)
+}
+
+// SampledResults aggregates the measured intervals into a Result and
+// attaches the per-metric error bounds.
+func (s *System) SampledResults(p Sampling) Result {
+	var r Result
+	if s.sampleAgg.cycles == nil {
+		// No interval completed; report an empty (but well-formed)
+		// measurement rather than dereferencing a missing aggregate.
+		empty := newMeasurement(s.cfg.Cores)
+		r = s.resultFromDelta(&empty)
+	} else {
+		r = s.resultFromDelta(&s.sampleAgg)
+	}
+	p = p.withDefaults()
+	z := p.z()
+	r.Sampled = &SampleStats{
+		Intervals:  len(s.mpkiSamples),
+		Confidence: p.Confidence,
+		MPKI:       estimate(s.mpkiSamples, z),
+		Throughput: estimate(s.tputSamples, z),
+	}
+	return r
+}
+
+// packWarm packs one functional record for the follower replay buffer:
+// block address, control-flow kind, and the L1-I hit bit.
+func packWarm(blk trace.BlockAddr, kind trace.Kind, hit bool) uint64 {
+	w := uint64(blk)<<4 | uint64(kind)<<1
+	if hit {
+		w |= 1
+	}
+	return w
+}
+
+// warmCore runs up to n functional steps of core coreID back to back —
+// the tight inner loop of the fast-forward path, with the per-core
+// invariants (reader, predictor, caches, warm hook, replay cursors)
+// hoisted out of the record loop. It returns the number of records
+// stepped (fewer than n only when the core's trace is exhausted).
+//
+// In a shared-L1 batch the lead decodes each record, performs the
+// common L1-I probe (content is a pure function of the shared record
+// stream, so every member's cache would evolve identically), and
+// publishes (block, kind, hit) into fnBlkBuf; a follower core that
+// must see every record replays that buffer without touching its
+// stream view or an instruction cache at all — the batch runner
+// bulk-copies the lead's cache state over at the segment boundary.
+func (s *System) warmCore(coreID int, n int64) (int64, error) {
+	if s.done[coreID] {
+		return 0, nil
+	}
+	h := &s.hot[coreID]
+	// The predictor is a pure function of the record stream, so its
+	// state keeps evolving; the outcome drives no timing. In a shared-
+	// predictor batch the lead's evaluation advances the predictors
+	// every follower aliases, so followers skip the redundant
+	// evaluation; no outcomes are recorded or consumed, which keeps the
+	// replay cursors aligned with the detailed segments.
+	bp := h.bp
+	if s.bpBuf != nil && !s.bpLead {
+		bp = nil
+	}
+	var (
+		warm    = h.warm
+		blkPos  = s.l1Pos
+		warmCnt = s.llcWarmCnt[coreID]
+		mask    = s.llcMask
+	)
+
+	if s.fnBlkBuf != nil && !s.l1Lead {
+		// Follower replay: everything needed is in the lead's buffer.
+		for r := int64(0); r < n; r++ {
+			w := s.fnBlkBuf[blkPos]
+			blkPos++
+			blk := trace.BlockAddr(w >> 4)
+			l1Hit := w&1 != 0
+			if bp != nil {
+				bp.PredictUpdate(blk.Addr(), trace.Kind(w>>1&7) != trace.KindSeq)
+			}
+			if !l1Hit {
+				if warmCnt++; warmCnt&mask == 0 {
+					s.llc[s.mesh.BankForBlock(blk)].LookupInsert(blk, false)
+				}
+			}
+			if warm != nil {
+				warm.WarmAccess(blk, l1Hit)
+			}
+		}
+		if sv := s.fastViews[coreID]; sv != nil {
+			sv.Skip(n)
+		}
+		s.records[coreID] += n
+		s.l1Pos = blkPos
+		s.llcWarmCnt[coreID] = warmCnt
+		return n, nil
+	}
+
+	var (
+		cr      = s.fastReaders[coreID]
+		sv      = s.fastViews[coreID]
+		l1      = h.l1i
+		lead    = s.fnBlkBuf != nil
+		missPos = s.missPos
+		missCnt = int32(0)
+	)
+	var ran int64
+	for ; ran < n; ran++ {
+		var rec trace.Record
+		var err error
+		if cr != nil {
+			rec, err = cr.Next()
+		} else if sv != nil {
+			rec, err = sv.Next()
+		} else {
+			rec, err = s.readers[coreID].Next()
+		}
+		if err == io.EOF {
+			s.done[coreID] = true
+			break
+		}
+		if err != nil {
+			return ran, err
+		}
+		if bp != nil {
+			bp.PredictUpdate(rec.Block.Addr(), rec.Kind != trace.KindSeq)
+		}
+
+		// The identical demand probe the detailed path performs: L1-I
+		// content is a pure function of the record stream (prefetches
+		// fill a separate buffer), so functional and detailed stepping
+		// leave bit-identical instruction caches.
+		l1Hit, _, _, _ := l1.LookupInsert(rec.Block, false)
+		if lead {
+			s.fnBlkBuf[blkPos] = packWarm(rec.Block, rec.Kind, l1Hit)
+			blkPos++
+			if !l1Hit {
+				// Also publish the compact miss list, which followers
+				// whose warming is miss-driven replay instead of
+				// walking every record (see runFunctionalFollower).
+				s.fnMissBuf[missPos] = uint64(rec.Block)
+				missPos++
+				missCnt++
+			}
+		}
+
+		if !l1Hit {
+			// Keep the LLC banks demand-warm, without any latency or
+			// traffic modelling: bank contents — and, for virtualized
+			// SHIFT, the index pointers riding on resident tags — track
+			// the access stream instead of freezing for the whole gap.
+			// Far from the next detailed interval a strided probe
+			// suffices: the banks hold megabytes, so content freshness
+			// is governed by the insertion horizon, not the per-miss
+			// insertion rate; the llcNearRounds before each interval
+			// warm on every miss so the interval opens on a fresh recent
+			// working set. The prefetch buffer is left untouched
+			// (frozen): it is a small timing structure whose steady-
+			// state pressure the detailed warmup prefix restores, and
+			// freezing preserves its age distribution.
+			if warmCnt++; warmCnt&mask == 0 {
+				s.llc[s.mesh.BankForBlock(rec.Block)].LookupInsert(rec.Block, false)
+			}
+		}
+
+		// History generation — the slow-warming design state.
+		if warm != nil {
+			warm.WarmAccess(rec.Block, l1Hit)
+		}
+	}
+	s.records[coreID] += ran
+	s.l1Pos = blkPos
+	s.missPos = missPos
+	if lead && missCnt > 0 {
+		s.fnMissCnt[coreID] += missCnt
+	}
+	s.llcWarmCnt[coreID] = warmCnt
+	return ran, nil
+}
+
+// runRoundsFunctional advances up to n lockstep rounds on the
+// functional path, core-major within blocks of batchBlockRounds: cores
+// barely interact while timing stands still (the L1-I and history are
+// per-core), so stepping each core through a whole block back to back
+// keeps its stream chunk, instruction cache, and history builder hot
+// instead of thrashing every core's state on every round — a large
+// constant-factor win on the fast-forward path. The block structure
+// matches the batch runner's lockstep blocks exactly, so the few
+// cross-core touch points (shared-LLC warming order, the generator's
+// index-pointer updates) happen in the identical global order
+// standalone and batched — which keeps sampled batch members
+// bit-identical to their standalone runs. It returns the number of
+// full rounds completed (the minimum over cores when a stream runs
+// dry).
+func (s *System) runRoundsFunctional(n int64) (int64, error) {
+	if s.fnMissBuf != nil && !s.l1Lead {
+		return s.runFunctionalFollower(n)
+	}
+	var done int64
+	for off := int64(0); off < n; {
+		blk := n - off
+		if blk > batchBlockRounds {
+			blk = batchBlockRounds
+		}
+		if s.fnMissBuf != nil {
+			// Lead of a shared-L1 batch: reset the per-core miss
+			// bookkeeping the followers replay. The batch runner blocks
+			// segments at batchBlockRounds, so one call is one block.
+			for c := range s.fnMissCnt {
+				s.fnMissCnt[c] = 0
+				s.fnRounds[c] = 0
+			}
+		}
+		min := blk
+		for c := 0; c < s.cfg.Cores; c++ {
+			ran, err := s.warmCore(c, blk)
+			if err != nil {
+				return done, err
+			}
+			if s.fnRounds != nil {
+				s.fnRounds[c] = int32(ran)
+			}
+			if ran < min {
+				min = ran
+			}
+		}
+		s.rounds += min
+		done += min
+		off += blk
+		if min < blk {
+			return done, nil
+		}
+	}
+	return done, nil
+}
+
+// fnNeedsRecords reports whether core c's functional warming must see
+// every record rather than just the miss list: PIF compacts the full
+// access stream on every core, and SHIFT's current generator core
+// records it into the shared history; miss-stream warmers (TIFS) and
+// cores with no warming state only react to misses.
+func (s *System) fnNeedsRecords(c int) bool {
+	switch w := s.hot[c].warm.(type) {
+	case nil:
+		return false
+	case *core.Replayer:
+		return w.IsGenerator()
+	case *tifs.TIFS:
+		return false
+	default:
+		// PIF — and any future warmer — conservatively sees everything.
+		_ = w
+		return true
+	}
+}
+
+// runFunctionalFollower is the shared-L1 batch follower's fast-forward
+// block: the lead already decoded every record, stepped the common
+// L1-I, and published per-core hit bits, miss blocks, and per-core
+// round/miss counts, so a follower core whose warming is miss-driven
+// replays just the misses (LLC warming plus the miss-stream hook) and
+// bulk-skips its stream view, while cores that must see every record
+// (PIF; SHIFT's generator) step record by record off the published hit
+// bits. State evolution is identical to the standalone functional path
+// — the same (core, round) order, the same inputs — only the decoding
+// and probing that sharing makes redundant are gone.
+func (s *System) runFunctionalFollower(n int64) (int64, error) {
+	if n > batchBlockRounds {
+		// The batch runner blocks lockstep segments at batchBlockRounds,
+		// so a follower call never exceeds one block.
+		return 0, fmt.Errorf("sim: follower functional block of %d rounds exceeds %d", n, batchBlockRounds)
+	}
+	// A member that evaluates its own branch predictor (the batch could
+	// not share predictors) must keep it evolving over every record:
+	// the miss-only shortcut would silently freeze it across the gap.
+	ownBP := s.bp != nil && s.bpBuf == nil
+	min := n
+	for c := 0; c < s.cfg.Cores; c++ {
+		rounds := int64(s.fnRounds[c])
+		cnt := int(s.fnMissCnt[c])
+		if ownBP || s.fnNeedsRecords(c) {
+			ran, err := s.warmCore(c, rounds)
+			if err != nil {
+				return 0, err
+			}
+			// warmCore consumed the hit bits but not the miss list;
+			// skip this core's entries to stay aligned.
+			s.missPos += cnt
+			if ran < min {
+				min = ran
+			}
+			continue
+		}
+		h := &s.hot[c]
+		for i := 0; i < cnt; i++ {
+			blk := trace.BlockAddr(s.fnMissBuf[s.missPos])
+			s.missPos++
+			if s.llcWarmCnt[c]++; s.llcWarmCnt[c]&s.llcMask == 0 {
+				s.llc[s.mesh.BankForBlock(blk)].LookupInsert(blk, false)
+			}
+			if h.warm != nil {
+				h.warm.WarmAccess(blk, false)
+			}
+		}
+		s.l1Pos += int(rounds)
+		s.records[c] += rounds
+		if sv := s.fastViews[c]; sv != nil {
+			sv.Skip(rounds)
+		} else {
+			// Non-view readers (not produced by the batch fan-out, but
+			// kept correct): decode and discard.
+			for r := int64(0); r < rounds; r++ {
+				if _, err := s.readers[c].Next(); err != nil {
+					break
+				}
+			}
+		}
+		if rounds < min {
+			min = rounds
+		}
+	}
+	s.rounds += min
+	return min, nil
+}

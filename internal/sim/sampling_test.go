@@ -1,0 +1,550 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"shift/internal/core"
+	"shift/internal/pif"
+	"shift/internal/tifs"
+	"shift/internal/trace"
+	"shift/internal/workload"
+)
+
+// testSampling is a small, fast policy for unit tests.
+func testSampling() Sampling {
+	return Sampling{Period: 5, IntervalRecords: 1000, WarmupFraction: 0.25}
+}
+
+func TestSamplingValidate(t *testing.T) {
+	good := []Sampling{
+		{},
+		{Period: 1},
+		testSampling(),
+		{Period: 2}, // all defaults
+		{Period: 10, IntervalRecords: 100, WarmupFraction: 0.5, Confidence: 0.99},
+	}
+	for i, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("good policy %d rejected: %v", i, err)
+		}
+	}
+	bad := []Sampling{
+		{Period: -1},
+		{Period: 4, IntervalRecords: -5},
+		{Period: 4, WarmupFraction: -0.1},
+		{Period: 4, WarmupFraction: 1},
+		{Period: 4, Confidence: 0.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad policy %d accepted", i)
+		}
+	}
+}
+
+func TestSamplingSegments(t *testing.T) {
+	p := Sampling{Period: 4, IntervalRecords: 100, WarmupFraction: 0.25}
+	segs := p.segments(1000, 850)
+	// warmup+first gap fused (1275,F) + [25 D, 100 D-measured] + gap
+	// (275,F) + [25 D, 100 D-measured] + 50 F tail.
+	var total int64
+	intervals := 0
+	measuredRounds := int64(0)
+	for _, s := range segs {
+		total += s.rounds
+		if s.measured {
+			intervals++
+			measuredRounds += s.rounds
+			if s.functional {
+				t.Fatal("measured functional segment")
+			}
+		}
+	}
+	if total != 1850 {
+		t.Fatalf("segments cover %d rounds, want 1850", total)
+	}
+	if intervals != 2 || measuredRounds != 200 {
+		t.Fatalf("got %d intervals over %d rounds, want 2 over 200", intervals, measuredRounds)
+	}
+	if got := p.Intervals(850); got != 2 {
+		t.Fatalf("Intervals(850) = %d, want 2", got)
+	}
+	if segs[0].rounds != 1275 || !segs[0].functional || segs[0].llcMask != 0 {
+		t.Fatalf("fused warmup segment %+v not full-warm functional", segs[0])
+	}
+
+	// A gap longer than the near zone splits into a strided far zone
+	// and a full-warm near zone.
+	long := Sampling{Period: 40, IntervalRecords: 250, WarmupFraction: 0.3}
+	segs = long.segments(25000, 10000)
+	if len(segs) < 3 {
+		t.Fatalf("unexpected schedule %+v", segs)
+	}
+	far, near := segs[0], segs[1]
+	gap := int64(40*250 - 250 - 75)
+	if far.rounds != 25000+gap-llcNearRounds || !far.functional || far.llcMask != llcFarStride-1 {
+		t.Fatalf("far zone %+v", far)
+	}
+	if near.rounds != llcNearRounds || !near.functional || near.llcMask != 0 {
+		t.Fatalf("near zone %+v", near)
+	}
+}
+
+func TestRunSpecRejectsUnsampleableWindow(t *testing.T) {
+	spec := testSpec(testConfig())
+	spec.MeasureRecords = 3000 // one chunk of the policy below is 5000
+	spec.Sampling = testSampling()
+	if _, err := Run(spec); err == nil {
+		t.Fatal("window smaller than one sampling chunk accepted")
+	}
+	spec.Sampling.Period = -3
+	if _, err := Run(spec); err == nil {
+		t.Fatal("negative period accepted")
+	}
+}
+
+// TestRunSampledReportsErrorBounds checks the shape of a sampled
+// result: interval count, confidence metadata, and plausible headline
+// metrics close to the exact run's.
+func TestRunSampledReportsErrorBounds(t *testing.T) {
+	cfg := testConfig()
+	cfg.Prefetcher = PrefetcherSpec{Kind: KindSHIFT, SHIFT: smallSHIFT(core.Virtualized)}
+	spec := testSpec(cfg)
+	spec.Sampling = testSampling()
+
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Sampled
+	if st == nil {
+		t.Fatal("sampled run returned no SampleStats")
+	}
+	wantIntervals := int(spec.Sampling.Intervals(spec.MeasureRecords))
+	if st.Intervals != wantIntervals {
+		t.Fatalf("got %d intervals, want %d", st.Intervals, wantIntervals)
+	}
+	if st.Confidence != 0.95 {
+		t.Fatalf("confidence %v, want default 0.95", st.Confidence)
+	}
+	if st.MPKI.StdErr < 0 || st.Throughput.StdErr < 0 {
+		t.Fatal("negative standard error")
+	}
+	if st.MPKI.CIHalfWidth < st.MPKI.StdErr {
+		t.Fatal("CI narrower than one standard error")
+	}
+	// The measured window is Intervals*IntervalRecords rounds.
+	wantRecords := int64(wantIntervals) * spec.Sampling.IntervalRecords * int64(cfg.Cores)
+	if res.Records != wantRecords {
+		t.Fatalf("measured %d records, want %d", res.Records, wantRecords)
+	}
+
+	exact, err := Run(testSpec(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Sampled != nil {
+		t.Fatal("exact run carries SampleStats")
+	}
+	// Throughput (cycle-side) estimates are tight even at this tiny
+	// 4-core scale; MPKI rides the bursty coverage process, so its
+	// bound here is only a sanity check — the statistically meaningful
+	// contract is that the run's own confidence interval covers the
+	// deviation (see TestSampledAccuracy at the package root for the
+	// full-scale accuracy gates).
+	if relErr := math.Abs(res.Throughput-exact.Throughput) / exact.Throughput; relErr > 0.03 {
+		t.Fatalf("sampled Throughput %.3f vs exact %.3f: rel err %.1f%% (sanity bound 3%%)",
+			res.Throughput, exact.Throughput, relErr*100)
+	}
+	if relErr := math.Abs(res.MPKI-exact.MPKI) / exact.MPKI; relErr > 0.35 {
+		t.Fatalf("sampled MPKI %.3f vs exact %.3f: rel err %.1f%% (sanity bound 35%%)",
+			res.MPKI, exact.MPKI, relErr*100)
+	}
+}
+
+// TestRunSampledDeterministic locks the reproducibility contract:
+// identical spec, identical Result, bit for bit.
+func TestRunSampledDeterministic(t *testing.T) {
+	cfg := testConfig()
+	cfg.Prefetcher = PrefetcherSpec{Kind: KindPIF, PIF: pif.Config2K()}
+	spec := testSpec(cfg)
+	spec.Sampling = testSampling()
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical sampled runs differ")
+	}
+}
+
+// warmSystems builds two identical systems over the same workload
+// stream and steps one through the detailed path and the other through
+// the functional path for the same rounds.
+func warmSystems(t *testing.T, cfg Config, rounds int64) (detailed, functional *System) {
+	t.Helper()
+	build := func() *System {
+		w, err := workload.Cached(testWorkload())
+		if err != nil {
+			t.Fatal(err)
+		}
+		readers := make([]trace.Reader, cfg.Cores)
+		for i := range readers {
+			readers[i] = w.NewCoreReader(i)
+		}
+		sys, err := New(cfg, readers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	detailed = build()
+	if err := detailed.Run(rounds); err != nil {
+		t.Fatal(err)
+	}
+	functional = build()
+	functional.setFunctional(true)
+	if err := functional.Run(rounds); err != nil {
+		t.Fatal(err)
+	}
+	return detailed, functional
+}
+
+// TestFunctionalWarmStateMatchesDetailed is the warmed-structure
+// differential: for every design point, stepping a system N records
+// through the functional path must leave the slow-warming structures —
+// per-core L1-I content (canonical fingerprint), L1-I hit/miss
+// counters, branch predictor state, and (where the history is a pure
+// function of the record stream) the prefetcher history — bit-identical
+// to stepping the detailed path over the same records. TIFS's history
+// follows the effective miss stream, which prefetching itself perturbs,
+// so its history row runs in prediction mode where the two coincide
+// (the access-vs-miss-stream fragility of the paper's Section 2.2).
+func TestFunctionalWarmStateMatchesDetailed(t *testing.T) {
+	type historyOf func(s *System) interface{}
+	shiftHist := func(s *System) interface{} {
+		hs := s.SharedHistories()
+		if len(hs) != 1 {
+			t.Fatalf("%d shared histories", len(hs))
+		}
+		return hs[0].History()
+	}
+	cases := []struct {
+		name    string
+		mut     func(*Config)
+		history historyOf
+	}{
+		{"baseline", func(c *Config) {}, nil},
+		{"nextline", func(c *Config) {
+			c.Prefetcher = PrefetcherSpec{Kind: KindNextLine, NextLineDegree: 1}
+		}, nil},
+		{"pif2k", func(c *Config) {
+			c.Prefetcher = PrefetcherSpec{Kind: KindPIF, PIF: pif.Config2K()}
+		}, func(s *System) interface{} { return s.pf[1].(*pif.PIF).History() }},
+		{"pif32k", func(c *Config) {
+			c.Prefetcher = PrefetcherSpec{Kind: KindPIF, PIF: pif.Config32K()}
+		}, func(s *System) interface{} { return s.pf[1].(*pif.PIF).History() }},
+		{"zerolat-shift", func(c *Config) {
+			c.Prefetcher = PrefetcherSpec{Kind: KindSHIFT, SHIFT: smallSHIFT(core.Dedicated)}
+		}, shiftHist},
+		{"shift", func(c *Config) {
+			c.Prefetcher = PrefetcherSpec{Kind: KindSHIFT, SHIFT: smallSHIFT(core.Virtualized)}
+		}, shiftHist},
+		{"tifs-prediction", func(c *Config) {
+			c.Mode = ModePrediction
+			c.Prefetcher = PrefetcherSpec{Kind: KindTIFS, TIFS: tifs.DefaultConfig()}
+		}, func(s *System) interface{} { return s.pf[1].(*tifs.TIFS).History() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig()
+			tc.mut(&cfg)
+			det, fun := warmSystems(t, cfg, 20000)
+			for i := 0; i < cfg.Cores; i++ {
+				if det.l1i[i].Fingerprint() != fun.l1i[i].Fingerprint() {
+					t.Errorf("core %d: L1-I content diverged", i)
+				}
+				if det.l1i[i].Stats() != fun.l1i[i].Stats() {
+					t.Errorf("core %d: L1-I counters diverged: detailed %+v functional %+v",
+						i, det.l1i[i].Stats(), fun.l1i[i].Stats())
+				}
+				if !reflect.DeepEqual(det.bp[i], fun.bp[i]) {
+					t.Errorf("core %d: branch predictor state diverged", i)
+				}
+			}
+			if tc.history != nil && !reflect.DeepEqual(tc.history(det), tc.history(fun)) {
+				t.Error("history contents diverged between detailed and functional stepping")
+			}
+		})
+	}
+}
+
+// TestRunBatchSampledMatchesRun mirrors TestRunBatchMatchesRun for the
+// sampled mode: every design simulated in one sampled batched pass must
+// be bit-identical to its standalone sampled Run — including the
+// per-interval error bounds.
+func TestRunBatchSampledMatchesRun(t *testing.T) {
+	specs := batchDesigns()
+	for i := range specs {
+		specs[i].Sampling = testSampling()
+	}
+	batched, err := RunBatch(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range specs {
+		solo, err := Run(spec)
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(batched[i], solo) {
+			t.Errorf("spec %d (%s): sampled batched result differs from sampled Run",
+				i, spec.Config.Prefetcher.Name())
+		}
+	}
+}
+
+// TestRunBatchSampledMixedPredictors is the shared-L1 fast path's
+// predictor regression: followers that evaluate their own branch
+// predictor (the batch could not share predictors) must keep it
+// evolving through functional gaps — the miss-only replay shortcut
+// once froze it, silently skewing mispredict accounting.
+func TestRunBatchSampledMixedPredictors(t *testing.T) {
+	a := testConfig()
+	b := testConfig()
+	b.BranchPredictorEntries = 4096
+	c := testConfig()
+	c.Prefetcher = PrefetcherSpec{Kind: KindSHIFT, SHIFT: smallSHIFT(core.Virtualized)}
+	c.BranchPredictorEntries = 0
+	specs := []RunSpec{testSpec(a), testSpec(b), testSpec(c)}
+	for i := range specs {
+		specs[i].Sampling = testSampling()
+	}
+	batched, err := RunBatch(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range specs {
+		solo, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batched[i], solo) {
+			t.Errorf("spec %d: mixed-predictor sampled batch diverged from Run", i)
+		}
+	}
+}
+
+// TestRunBatchRejectsMixedSampling: cells with different sampling
+// schedules never share a lockstep schedule, while normalization-
+// equivalent (and confidence-only-different) policies batch fine.
+func TestRunBatchRejectsMixedSampling(t *testing.T) {
+	exact := testSpec(testConfig())
+	sampled := exact
+	sampled.Sampling = testSampling()
+	if _, err := RunBatch([]RunSpec{exact, sampled}); err == nil {
+		t.Fatal("mixed exact/sampled batch accepted")
+	}
+	other := sampled
+	other.Sampling.Period = 10
+	if _, err := RunBatch([]RunSpec{sampled, other}); err == nil {
+		t.Fatal("mixed-period batch accepted")
+	}
+	// Period 0 and Period 1 both mean "exact": schedules are equal.
+	one := exact
+	one.Sampling.Period = 1
+	if _, err := RunBatch([]RunSpec{exact, one}); err != nil {
+		t.Fatalf("disabled-policy spelling rejected: %v", err)
+	}
+	// Confidence shapes only the reported bounds; each member keeps its
+	// own level and stays bit-identical to its standalone run.
+	conf := sampled
+	conf.Sampling.Confidence = 0.99
+	batched, err := RunBatch([]RunSpec{sampled, conf})
+	if err != nil {
+		t.Fatalf("confidence-only batch rejected: %v", err)
+	}
+	for i, spec := range []RunSpec{sampled, conf} {
+		solo, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batched[i], solo) {
+			t.Errorf("member %d: confidence-only batch diverged from Run", i)
+		}
+	}
+	if batched[0].Sampled.Confidence != 0.95 || batched[1].Sampled.Confidence != 0.99 {
+		t.Errorf("per-member confidence lost: %v / %v",
+			batched[0].Sampled.Confidence, batched[1].Sampled.Confidence)
+	}
+}
+
+// TestRunMeasuredSingleDryCore: a single core's stream running dry must
+// surface as a typed error even while the other cores keep the lockstep
+// round loop alive.
+func TestRunMeasuredSingleDryCore(t *testing.T) {
+	cfg := testConfig()
+	w, err := workload.Cached(testWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	readers := make([]trace.Reader, cfg.Cores)
+	for i := range readers {
+		if i == 2 {
+			recs, err := trace.Collect(trace.Limit(w.NewCoreReader(i), 8000), 8000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			readers[i] = &opaqueReader{r: trace.NewSliceReader(recs)}
+		} else {
+			readers[i] = w.NewCoreReader(i)
+		}
+	}
+	sys, err := New(cfg, readers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.RunMeasured(5000, 10000)
+	var short *StreamShortError
+	if !errors.As(err, &short) {
+		t.Fatalf("single dry core: got %v, want StreamShortError", err)
+	}
+	if short.Core != 2 || short.Have != 8000 {
+		t.Fatalf("unexpected error detail: %+v", short)
+	}
+}
+
+// TestRunSpecRejectsSingleInterval: one measured interval has no
+// dispersion to estimate, so the window must fit at least two.
+func TestRunSpecRejectsSingleInterval(t *testing.T) {
+	spec := testSpec(testConfig())
+	spec.Sampling = testSampling() // chunk = 5000 rounds
+	spec.MeasureRecords = 5000     // exactly one interval
+	if _, err := Run(spec); err == nil {
+		t.Fatal("single-interval window accepted")
+	}
+	spec.MeasureRecords = 10000 // two intervals
+	if _, err := Run(spec); err != nil {
+		t.Fatalf("two-interval window rejected: %v", err)
+	}
+}
+
+// shortReaders builds per-core readers that can supply only n records.
+func shortReaders(t *testing.T, cfg Config, n int64, declare bool) []trace.Reader {
+	t.Helper()
+	w, err := workload.Cached(testWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	readers := make([]trace.Reader, cfg.Cores)
+	for i := range readers {
+		if declare {
+			readers[i] = trace.Limit(w.NewCoreReader(i), n)
+		} else {
+			// Collect then replay without implementing trace.Supplier's
+			// declaration... SliceReader implements Supplier too, so wrap
+			// it in an opaque reader to exercise the runtime detection.
+			recs, err := trace.Collect(trace.Limit(w.NewCoreReader(i), n), int(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			readers[i] = &opaqueReader{r: trace.NewSliceReader(recs)}
+		}
+	}
+	return readers
+}
+
+// opaqueReader hides any Supplier implementation of the wrapped reader.
+type opaqueReader struct{ r trace.Reader }
+
+func (o *opaqueReader) Next() (trace.Record, error) { return o.r.Next() }
+
+// TestRunMeasuredStreamShort locks the supply validation: a stream that
+// declares too small a supply fails up front, and one that silently
+// runs dry fails with the typed runtime error instead of short-
+// measuring.
+func TestRunMeasuredStreamShort(t *testing.T) {
+	cfg := testConfig()
+	const warm, measure = 5000, 10000
+
+	// Upfront: the reader declares its supply via trace.Supplier.
+	sys, err := New(cfg, shortReaders(t, cfg, 8000, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.RunMeasured(warm, measure)
+	var short *StreamShortError
+	if !errors.As(err, &short) {
+		t.Fatalf("declared-short stream: got %v, want StreamShortError", err)
+	}
+	if short.Phase != "validate" || short.Need != warm+measure || short.Have != 8000 {
+		t.Fatalf("unexpected error detail: %+v", short)
+	}
+
+	// Runtime: an opaque reader runs dry mid-measure.
+	sys, err = New(cfg, shortReaders(t, cfg, 8000, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.RunMeasured(warm, measure)
+	short = nil
+	if !errors.As(err, &short) {
+		t.Fatalf("opaque short stream: got %v, want StreamShortError", err)
+	}
+	if short.Phase != "measure" || short.Have != 8000-warm {
+		t.Fatalf("unexpected runtime error detail: %+v", short)
+	}
+
+	// Dry during warmup.
+	sys, err = New(cfg, shortReaders(t, cfg, 3000, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.RunMeasured(warm, measure)
+	short = nil
+	if !errors.As(err, &short) || short.Phase != "warmup" {
+		t.Fatalf("warmup-short stream: got %v (%+v)", err, short)
+	}
+
+	// A sufficient declared supply passes.
+	sys, err = New(cfg, shortReaders(t, cfg, warm+measure, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunMeasured(warm, measure); err != nil {
+		t.Fatalf("sufficient stream rejected: %v", err)
+	}
+}
+
+// TestRunSampledStreamShort: the sampled runner applies the same
+// supply contract.
+func TestRunSampledStreamShort(t *testing.T) {
+	cfg := testConfig()
+	p := testSampling()
+	sys, err := New(cfg, shortReaders(t, cfg, 9000, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.RunSampled(5000, 10000, p)
+	var short *StreamShortError
+	if !errors.As(err, &short) || short.Phase != "validate" {
+		t.Fatalf("got %v, want upfront StreamShortError", err)
+	}
+
+	sys, err = New(cfg, shortReaders(t, cfg, 9000, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.RunSampled(5000, 10000, p)
+	short = nil
+	if !errors.As(err, &short) || short.Phase != "measure" {
+		t.Fatalf("got %v (%+v), want runtime StreamShortError in measure", err, short)
+	}
+}

@@ -79,6 +79,33 @@ type System struct {
 	bpLead bool
 	bpPos  int
 
+	// Shared record decoding and L1-I stepping for the functional
+	// segments of sampled batches. The instruction cache's content is a
+	// pure function of the shared record stream (demand insert on every
+	// miss; prefetches fill a separate buffer), so during functional
+	// fast-forwarding the lead member decodes each record, probes its
+	// L1-I once, and publishes (block, kind, hit) into fnBlkBuf at
+	// l1Pos; followers replay the buffer instead of walking their
+	// stream views or maintaining their own caches, and the batch
+	// runner bulk-copies the lead's cache state into every follower at
+	// each functional segment boundary (cache.CopyStateFrom) —
+	// bit-identical to per-member stepping, minus K-1 decodes and
+	// probes per record. Detailed segments never touch these cursors:
+	// every member steps its own L1-I there.
+	fnBlkBuf []uint64
+	l1Lead   bool
+	l1Pos    int
+
+	// Miss-list replay for the shared-L1 fast-forward: the lead appends
+	// every missed block to fnMissBuf (fnMissCnt/fnRounds hold the
+	// per-core miss and round counts of the current lockstep block), so
+	// followers whose warming is miss-driven replay the misses and skip
+	// record decoding entirely; missPos is each member's cursor.
+	fnMissBuf []uint64
+	fnMissCnt []int32
+	fnRounds  []int32
+	missPos   int
+
 	// Shared background data traffic for batched runs. With equal seeds
 	// and data rates and no miss elimination, the data-side accumulator
 	// and its RNG draws are functions of the shared record stream alone,
@@ -90,6 +117,19 @@ type System struct {
 	dsPos  int
 
 	base measurement // snapshot at measurement start
+
+	// Sampled-execution state (see sampling.go): functional selects the
+	// fast-forward stepping path in runRounds; intervalStart/sampleAgg
+	// and the per-interval metric samples feed SampledResults;
+	// llcWarmCnt[core] counts functional L1 misses for the strided LLC
+	// warming.
+	functional    bool
+	llcMask       uint32
+	intervalStart measurement
+	sampleAgg     measurement
+	mpkiSamples   []float64
+	tputSamples   []float64
+	llcWarmCnt    []uint32
 }
 
 // coreHot aliases the per-core objects Step touches on every record, so
@@ -108,6 +148,9 @@ type coreHot struct {
 	// point that dominates every figure's grid (nil otherwise).
 	rep   *core.Replayer
 	fetch *FetchStats
+	// warm is the design's functional-warming hook (nil when the design
+	// has no history to keep warm); see warmCore in sampling.go.
+	warm prefetch.Warmer
 }
 
 // buildHot populates the hot aliases; must run after buildPrefetchers.
@@ -125,6 +168,7 @@ func (s *System) buildHot() {
 		h.rng = s.rng[i]
 		h.pf = s.pf[i]
 		h.rep, _ = s.pf[i].(*core.Replayer)
+		h.warm, _ = s.pf[i].(prefetch.Warmer)
 		h.fetch = &s.fetch[i]
 	}
 }
@@ -163,6 +207,7 @@ func New(cfg Config, readers []trace.Reader) (*System, error) {
 	s.dataAcc = make([]float64, n)
 	s.records = make([]int64, n)
 	s.fetch = make([]FetchStats, n)
+	s.llcWarmCnt = make([]uint32, n)
 	if cfg.BranchPredictorEntries > 0 {
 		s.bp = make([]*bpred.Hybrid, n)
 	}
@@ -522,8 +567,12 @@ func (s *System) Run(records int64) error {
 // runRounds advances up to n lockstep rounds, returning the number
 // completed (fewer only when every core's trace is exhausted). It is
 // the shared inner loop of Run and the batch runner's block-lockstep
-// schedule.
+// schedule. On the functional fast-forward path the rounds run
+// core-major instead (see runRoundsFunctional).
 func (s *System) runRounds(n int64) (int64, error) {
+	if s.functional {
+		return s.runRoundsFunctional(n)
+	}
 	for r := int64(0); r < n; r++ {
 		active, err := s.runRound()
 		if err != nil {
@@ -537,7 +586,10 @@ func (s *System) runRounds(n int64) (int64, error) {
 }
 
 // runRound advances every core by one record and applies the adaptive
-// generator check; it reports false when no core made progress.
+// generator check; it reports false when no core made progress. The
+// adaptive monitor never sees functional rounds (those run through
+// runRoundsFunctional): its coverage signal comes from the prefetch-
+// buffer counters functional stepping deliberately freezes.
 func (s *System) runRound() (bool, error) {
 	active := false
 	for c := 0; c < s.cfg.Cores; c++ {

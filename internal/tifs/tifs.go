@@ -145,6 +145,28 @@ func (t *TIFS) OnAccess(a prefetch.Access) []prefetch.Request {
 	return t.out
 }
 
+// WarmAccess implements prefetch.Warmer: during functional warming only
+// the recording side of OnAccess runs. TIFS records the *miss* stream,
+// which depends on cache content; functional warming models the L1-I
+// but not the prefetch buffer, so the warmed history follows the raw L1
+// miss stream (identical to detailed stepping exactly when no
+// prefetches perturb coverage, e.g. in prediction mode — the
+// access-vs-miss-stream fragility the paper's Section 2.2 describes).
+func (t *TIFS) WarmAccess(blk trace.BlockAddr, l1Hit bool) {
+	if l1Hit {
+		return
+	}
+	pos := t.buf.Append(history.Region{Trigger: blk})
+	t.index.Update(blk, pos)
+	t.stats.RecordsWritten++
+	t.stats.IndexUpdates++
+}
+
+// History exposes the private miss-history buffer (read-only use: the
+// functional-vs-detailed warm-state differential tests compare history
+// contents across stepping modes).
+func (t *TIFS) History() *history.Buffer { return t.buf }
+
 // readAhead tops stream si up with `needed` records.
 func (t *TIFS) readAhead(si, needed int) {
 	pos := t.sab.NextPos(si)
@@ -180,4 +202,5 @@ func (c Config) StorageBits() int64 {
 var (
 	_ prefetch.Prefetcher    = (*TIFS)(nil)
 	_ prefetch.StatsReporter = (*TIFS)(nil)
+	_ prefetch.Warmer        = (*TIFS)(nil)
 )

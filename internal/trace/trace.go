@@ -142,6 +142,9 @@ func (s *SliceReader) Next() (Record, error) {
 // Reset rewinds the reader to the beginning of the slice.
 func (s *SliceReader) Reset() { s.pos = 0 }
 
+// Supply implements Supplier: the records remaining before EOF.
+func (s *SliceReader) Supply() int64 { return int64(len(s.recs) - s.pos) }
+
 // Len returns the total number of records in the underlying slice.
 func (s *SliceReader) Len() int { return len(s.recs) }
 
@@ -161,6 +164,18 @@ func Collect(r Reader, max int) ([]Record, error) {
 	return out, nil
 }
 
+// Supplier is implemented by readers that know how many records they
+// can still produce. Consumers with a fixed record budget (the
+// simulator's warmup+measure window) use it to reject an undersized
+// stream up front instead of silently measuring a shorter window.
+// Unbounded readers (the synthetic workload generators) do not
+// implement it.
+type Supplier interface {
+	// Supply returns the number of records the reader can still
+	// deterministically produce.
+	Supply() int64
+}
+
 // Limit wraps r so that at most n records are produced.
 func Limit(r Reader, n int64) Reader { return &limitReader{r: r, n: n} }
 
@@ -175,6 +190,17 @@ func (l *limitReader) Next() (Record, error) {
 	}
 	l.n--
 	return l.r.Next()
+}
+
+// Supply implements Supplier: the remaining limit, clamped by the
+// underlying reader's own supply when it declares one.
+func (l *limitReader) Supply() int64 {
+	if s, ok := l.r.(Supplier); ok {
+		if under := s.Supply(); under < l.n {
+			return under
+		}
+	}
+	return l.n
 }
 
 // Stats summarizes a trace: record/instruction counts, unique block

@@ -148,6 +148,20 @@ func (v *StreamView) nextSlow() (trace.Record, error) {
 	return unpackRecord(w), nil
 }
 
+// Skip advances the view past n records without decoding them. The
+// skipped records must already have been produced (the sampled batch
+// runner only skips followers across stretches the lead has consumed);
+// the cached-chunk fast path self-invalidates because the position
+// leaves the cached bounds. Skipping keeps the view's recycling
+// bookkeeping exact: chunks the skip passes become reclaimable exactly
+// as if the records had been read.
+func (v *StreamView) Skip(n int64) {
+	v.pos += n
+	for v.pos > v.cs.produced {
+		v.cs.produce()
+	}
+}
+
 // Records returns the number of records this view has consumed.
 func (v *StreamView) Records() int64 { return v.pos }
 

@@ -20,6 +20,16 @@ type Options struct {
 	WarmupRecords, MeasureRecords int64
 	// Seed drives simulator randomness.
 	Seed int64
+	// Sampling optionally runs every cell of the experiment with
+	// interval sampling and functional warming instead of exact
+	// simulation (see Sampling): detailed intervals alternate with
+	// cheap fast-forwarding, and each RunResult carries standard-error/
+	// confidence-interval fields for its headline metrics. The zero
+	// value — the default — is exact simulation, whose output is byte-
+	// identical to previous releases; sampled output is an approximation
+	// with quantified error and is keyed separately in every result
+	// store.
+	Sampling Sampling
 	// Parallelism bounds the experiment engine's worker pool:
 	// 0 = runtime.GOMAXPROCS(0), 1 = serial, N>1 = N workers. Results
 	// are bit-identical regardless of the setting (cells are merged by
@@ -92,6 +102,9 @@ func (o Options) normalize() (Options, error) {
 	if o.Cores < 1 || o.Cores > 16 {
 		return o, fmt.Errorf("shift: Cores %d out of [1,16]", o.Cores)
 	}
+	if err := o.Sampling.internal().Validate(); err != nil {
+		return o, err
+	}
 	return o, nil
 }
 
@@ -105,6 +118,7 @@ func (o Options) config(workloadName string, d Design) Config {
 		WarmupRecords:  o.WarmupRecords,
 		MeasureRecords: o.MeasureRecords,
 		Seed:           o.Seed,
+		Sampling:       o.Sampling,
 	}
 }
 

@@ -1,0 +1,234 @@
+package shift
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// sampledTestPolicy is the policy the benchmarks gate (see
+// BenchmarkSampledFigure7): 1 interval in 40 detailed, 500-record
+// intervals, 30% detailed warmup.
+func sampledTestPolicy() Sampling {
+	return Sampling{Period: 40, IntervalRecords: 500, WarmupFraction: 0.3}
+}
+
+// sampledAccuracyOptions is the windowing the accuracy contract is
+// stated over: quick warmup, a 100k-record measurement window (the
+// scale where sampling pays — 20x fewer detailed records).
+func sampledAccuracyOptions() Options {
+	o := QuickOptions()
+	o.Workloads = []string{"Web Search"}
+	o.Parallelism = 1
+	o.MeasureRecords = 100000
+	return o
+}
+
+// TestSampledAccuracy is the differential accuracy contract across all
+// seven design points: a sampled run's IPC-class headline (Throughput)
+// must land within 2% of the exact run over the same window, its MPKI
+// within 20% (the effective-miss process of the stream prefetchers is
+// bursty at interval granularity — see ARCHITECTURE.md "Sampled
+// execution" — which is exactly why sampled results carry error bars),
+// and the error-bound fields must be populated. The simulator is a
+// pure function of its inputs, so this test is deterministic, not
+// statistical.
+func TestSampledAccuracy(t *testing.T) {
+	o := sampledAccuracyOptions()
+	designs := []Design{DesignBaseline, DesignNextLine, DesignPIF2K, DesignPIF32K,
+		DesignZeroLatSHIFT, DesignSHIFT, DesignTIFS}
+	grid := func(o Options) []Cell {
+		var cells []Cell
+		for _, d := range designs {
+			cells = append(cells, Cell{Label: d.String(), Config: o.config("Web Search", d)})
+		}
+		return cells
+	}
+	exact, err := NewEngine(1, nil).RunAll(grid(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := o
+	so.Sampling = sampledTestPolicy()
+	sampled, err := NewEngine(1, nil).RunAll(grid(so))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIntervals := 100000 / int(so.Sampling.Period*so.Sampling.IntervalRecords)
+	for i, d := range designs {
+		e, s := exact[i], sampled[i]
+		if e.Sampled || !s.Sampled {
+			t.Fatalf("%s: Sampled flags wrong (exact %v, sampled %v)", d, e.Sampled, s.Sampled)
+		}
+		if s.SampledIntervals != wantIntervals || s.SampleConfidence != 0.95 {
+			t.Errorf("%s: intervals %d (want %d), confidence %v",
+				d, s.SampledIntervals, wantIntervals, s.SampleConfidence)
+		}
+		if s.ThroughputStdErr <= 0 || s.ThroughputCI < s.ThroughputStdErr ||
+			s.MPKIStdErr <= 0 || s.MPKICI < s.MPKIStdErr {
+			t.Errorf("%s: degenerate error bounds %+v", d, s)
+		}
+		if rel := math.Abs(s.Throughput-e.Throughput) / e.Throughput; rel > 0.02 {
+			t.Errorf("%s: Throughput rel err %.2f%% > 2%% (sampled %.4f, exact %.4f)",
+				d, rel*100, s.Throughput, e.Throughput)
+		}
+		if rel := math.Abs(s.MPKI-e.MPKI) / e.MPKI; rel > 0.20 {
+			t.Errorf("%s: MPKI rel err %.1f%% > 20%% (sampled %.3f, exact %.3f)",
+				d, rel*100, s.MPKI, e.MPKI)
+		}
+	}
+}
+
+// TestSampledBatchMatchesRun mirrors the sim layer's determinism
+// contract through the public API: a sampled batch (what the engine
+// schedules for a figure grid) is bit-identical to standalone sampled
+// runs, error bounds included.
+func TestSampledBatchMatchesRun(t *testing.T) {
+	o := QuickOptions()
+	o.Workloads = []string{"Web Search"}
+	o.WarmupRecords = 10000
+	o.MeasureRecords = 20000
+	o.Sampling = Sampling{Period: 5, IntervalRecords: 500, WarmupFraction: 0.25}
+	var cfgs []Config
+	for _, d := range []Design{DesignBaseline, DesignPIF2K, DesignSHIFT} {
+		cfgs = append(cfgs, o.config("Web Search", d))
+	}
+	batched, err := RunBatch(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		solo, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batched[i], solo) {
+			t.Errorf("%s: sampled batch result differs from standalone Run", cfg.Design)
+		}
+		if !solo.Sampled || solo.SampledIntervals != 8 {
+			t.Errorf("%s: sampled metadata wrong: %+v", cfg.Design, solo)
+		}
+	}
+}
+
+// TestSampledKeysNeverCollide locks the storage contract: a sampled
+// cell must never alias its exact twin (or a differently-sampled twin)
+// in any ResultStore backend, while exact keys stay byte-stable across
+// releases.
+func TestSampledKeysNeverCollide(t *testing.T) {
+	exact := DefaultRunConfig("Web Search", DesignSHIFT)
+	sampled := exact
+	sampled.Sampling = sampledTestPolicy()
+	other := sampled
+	other.Sampling.Period = 10
+
+	keys := map[string]string{
+		"exact":    exact.Key(),
+		"sampled":  sampled.Key(),
+		"period10": other.Key(),
+	}
+	seen := map[string]string{}
+	for name, k := range keys {
+		if prev, ok := seen[k]; ok {
+			t.Fatalf("configs %s and %s share key %s", prev, name, k)
+		}
+		seen[k] = name
+	}
+	// A disabled policy (Period 0 or 1) is exact simulation and must
+	// key identically to the plain exact config.
+	one := exact
+	one.Sampling.Period = 1
+	if one.Key() != exact.Key() {
+		t.Error("Period=1 config keyed differently from exact")
+	}
+	// Policies are keyed in normalized form: writing the defaults out
+	// and leaving them zero describe the identical simulation and must
+	// share a key (and a batch schedule).
+	spelled := sampled
+	spelled.Sampling.Confidence = 0.95 // the default, written out
+	implicit := exact
+	implicit.Sampling = Sampling{Period: 40} // interval/warmup/confidence defaulted
+	explicit := exact
+	explicit.Sampling = Sampling{Period: 40, IntervalRecords: 500,
+		WarmupFraction: 0.25, Confidence: 0.95} // the same defaults, written out
+	if spelled.Key() != sampled.Key() {
+		t.Error("spelled-out default confidence keyed differently")
+	}
+	if implicit.Key() != explicit.Key() || implicit.StreamKey() != explicit.StreamKey() {
+		t.Error("normalization-equivalent policies keyed differently")
+	}
+	// Sampled and exact cells of one workload must not share a batch
+	// schedule either; different schedules must not share one; but a
+	// confidence-only difference (reporting, not schedule) must batch.
+	if sampled.StreamKey() == exact.StreamKey() {
+		t.Error("sampled and exact cells share a StreamKey (batch schedule)")
+	}
+	if sampled.StreamKey() == other.StreamKey() {
+		t.Error("different sampling policies share a StreamKey")
+	}
+	conf := sampled
+	conf.Sampling.Confidence = 0.99
+	if conf.StreamKey() != sampled.StreamKey() {
+		t.Error("confidence-only difference changed the StreamKey (schedule)")
+	}
+	if conf.Key() == sampled.Key() {
+		t.Error("confidence-only difference did not change the result Key")
+	}
+}
+
+// TestSampledEngineStoresBothModes runs the same cell exactly and
+// sampled through one engine+store and checks both results live side
+// by side, with the sampled-cell counter tracking only the latter.
+func TestSampledEngineStoresBothModes(t *testing.T) {
+	cache := NewResultCache()
+	e := NewEngine(1, cache)
+	o := QuickOptions()
+	o.Workloads = []string{"Web Search"}
+	o.WarmupRecords = 5000
+	o.MeasureRecords = 10000
+	exactCfg := o.config("Web Search", DesignBaseline)
+	sampledCfg := exactCfg
+	sampledCfg.Sampling = Sampling{Period: 5, IntervalRecords: 500}
+
+	re, err := e.RunOne(exactCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := e.RunOne(sampledCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Sampled || !rs.Sampled {
+		t.Fatalf("mode flags wrong: exact %v sampled %v", re.Sampled, rs.Sampled)
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("store holds %d cells, want 2 (exact and sampled must not collide)", cache.Len())
+	}
+	if st := e.Stats(); st.Simulated != 2 || st.SampledCells != 1 {
+		t.Fatalf("engine stats %+v, want 2 simulated / 1 sampled", st)
+	}
+	// Both must now be served from the store without re-simulation.
+	if _, err := e.RunOne(exactCfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunOne(sampledCfg); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Simulated != 2 {
+		t.Fatalf("store round trip re-simulated: %+v", st)
+	}
+}
+
+// TestSampledOptionsValidation: experiment drivers reject malformed
+// sampling policies up front.
+func TestSampledOptionsValidation(t *testing.T) {
+	o := QuickOptions()
+	o.Sampling = Sampling{Period: 4, WarmupFraction: 2}
+	if _, err := RunFigure7(o); err == nil {
+		t.Error("bad warmup fraction accepted")
+	}
+	o.Sampling = Sampling{Period: -2}
+	if _, err := RunFigure8(o); err == nil {
+		t.Error("negative period accepted")
+	}
+}

@@ -48,6 +48,20 @@
 // record order of a standalone Run) and is on by default
 // (Options.DisableBatching turns it off for diagnostics).
 //
+// # Sampled execution
+//
+// For sweeps where breadth matters more than per-cell exactness,
+// Options.Sampling (or Config.Sampling, shiftsim -sample, shiftd's
+// sample_period) switches a run to SMARTS-style interval sampling:
+// one interval in Sampling.Period is simulated in detail and the rest
+// are fast-forwarded with functional warming — caches, branch
+// predictors, and prefetcher histories keep learning while timing
+// stands still. Sampled results carry standard-error and confidence-
+// interval fields (RunResult.MPKICI, ThroughputCI, ...), run ~5x
+// faster on a long-window figure sweep, and are keyed separately from
+// exact results in every store. Exact simulation remains the default;
+// see ARCHITECTURE.md "Sampled execution" for the accuracy contract.
+//
 // Custom grids go through the engine directly:
 //
 //	e := shift.NewEngine(4, shift.NewResultCache())
@@ -190,6 +204,51 @@ type Config struct {
 	WarmupRecords, MeasureRecords int64
 	// Seed drives simulator-internal randomness.
 	Seed int64
+	// Sampling optionally runs the cell with interval sampling and
+	// functional warming instead of exact simulation (see Sampling).
+	// The zero value — the default everywhere — is exact simulation.
+	Sampling Sampling
+}
+
+// Sampling configures SMARTS-style interval sampling for a run: instead
+// of stepping the detailed model over every record of the measurement
+// window, the simulator measures one short detailed interval out of
+// every Period, fast-forwards between them with cheap functional
+// warming (caches, branch predictors, and prefetcher histories keep
+// learning; timing stands still), and reports each metric with a
+// standard error and confidence interval computed from the
+// per-interval samples. Exact simulation remains the default; sampled
+// results are approximations with quantified error, never byte-
+// comparable to exact ones.
+type Sampling struct {
+	// Period is the sampling period in intervals: one interval of every
+	// Period is simulated in detail and measured. 0 or 1 disables
+	// sampling (exact simulation).
+	Period int64
+	// IntervalRecords is the measured interval length in records per
+	// core (default 500).
+	IntervalRecords int64
+	// WarmupFraction is the fraction of IntervalRecords re-simulated in
+	// detail — but excluded from measurement — immediately before each
+	// measured interval, re-warming the timing structures functional
+	// fast-forwarding froze (default 0.25; must stay below 1).
+	WarmupFraction float64
+	// Confidence selects the confidence level of the reported error
+	// bounds: 0.90, 0.95 (default), or 0.99.
+	Confidence float64
+}
+
+// Enabled reports whether the policy actually samples (Period >= 2).
+func (p Sampling) Enabled() bool { return p.Period > 1 }
+
+// internal converts to the simulator's policy type.
+func (p Sampling) internal() sim.Sampling {
+	return sim.Sampling{
+		Period:          p.Period,
+		IntervalRecords: p.IntervalRecords,
+		WarmupFraction:  p.WarmupFraction,
+		Confidence:      p.Confidence,
+	}
 }
 
 // DefaultRunConfig returns a 16-core Lean-OoO Table I configuration for
@@ -277,7 +336,13 @@ func (c Config) spec() (sim.RunSpec, error) {
 	if meas == 0 {
 		meas = 60000
 	}
-	return sim.RunSpec{Config: sc, Workload: wp, WarmupRecords: warm, MeasureRecords: meas}, nil
+	return sim.RunSpec{
+		Config:         sc,
+		Workload:       wp,
+		WarmupRecords:  warm,
+		MeasureRecords: meas,
+		Sampling:       c.Sampling.internal(),
+	}, nil
 }
 
 // TrafficCounts breaks LLC/NoC traffic down by message class
@@ -335,6 +400,22 @@ type RunResult struct {
 	// HistRecordsWritten counts spatial region records appended to the
 	// (shared or per-core) history.
 	HistRecordsWritten int64
+
+	// Sampled reports whether the run used interval sampling; when
+	// true, every metric above aggregates the measured detailed
+	// intervals only and the error-bound fields below are populated.
+	Sampled bool
+	// SampledIntervals is the number of measured detailed intervals.
+	SampledIntervals int
+	// SampleConfidence is the confidence level of the CI fields
+	// (0.90, 0.95, or 0.99).
+	SampleConfidence float64
+	// MPKIStdErr and MPKICI are the standard error and the confidence-
+	// interval half width of MPKI across the measured intervals.
+	MPKIStdErr, MPKICI float64
+	// ThroughputStdErr and ThroughputCI are the same bounds for
+	// Throughput.
+	ThroughputStdErr, ThroughputCI float64
 }
 
 func fromSim(r sim.Result, workloadName string) RunResult {
@@ -362,6 +443,15 @@ func fromSim(r sim.Result, workloadName string) RunResult {
 	}
 	if r.Cores > 0 {
 		out.MeanCoreCycles = cycles / int64(r.Cores)
+	}
+	if st := r.Sampled; st != nil {
+		out.Sampled = true
+		out.SampledIntervals = st.Intervals
+		out.SampleConfidence = st.Confidence
+		out.MPKIStdErr = st.MPKI.StdErr
+		out.MPKICI = st.MPKI.CIHalfWidth
+		out.ThroughputStdErr = st.Throughput.StdErr
+		out.ThroughputCI = st.Throughput.CIHalfWidth
 	}
 	out.Traffic = TrafficCounts{
 		DemandInstr:     r.Traffic[noc.DemandInstr],

@@ -24,22 +24,39 @@ import (
 // content-addresses memoized results: a cached RunResult under this key
 // is bit-identical to re-running the cell (the simulator is a pure
 // function of its Config).
+//
+// A sampled cell appends its whole sampling policy — normalized, so a
+// policy written with defaulted fields and one spelling them out hash
+// identically — to the hashed identity; sampled and exact results, and
+// sampled results under genuinely different policies, can therefore
+// never collide in any ResultStore backend, while exact cells keep
+// their historical ("v1") keys and existing disk stores stay valid.
 func (c Config) Key() string {
-	h := sha256.Sum256([]byte(fmt.Sprintf("v1|%q|%d|%d|%d|%d|%t|%t|%g|%d|%d|%d",
+	id := fmt.Sprintf("v1|%q|%d|%d|%d|%d|%t|%t|%g|%d|%d|%d",
 		c.Workload, c.Design, c.CoreType, c.Cores, c.HistEntries,
 		c.PredictionOnly, c.CommonalityMode, c.ElimProb,
-		c.WarmupRecords, c.MeasureRecords, c.Seed)))
+		c.WarmupRecords, c.MeasureRecords, c.Seed)
+	if p := c.Sampling.internal().Normalized(); p.Enabled() {
+		id += fmt.Sprintf("|sampled|%d|%d|%g|%g",
+			p.Period, p.IntervalRecords, p.WarmupFraction, p.Confidence)
+	}
+	h := sha256.Sum256([]byte(id))
 	return hex.EncodeToString(h[:16])
 }
 
 // StreamKey returns a stable content hash of the configuration's trace
-// -stream inputs: the workload, the core count, and the warmup/measure
-// window lengths. Everything else — design point, seed, core type,
-// history sizes, simulation mode, miss elimination — only changes how
-// records are consumed, never which records are generated, so two
-// Configs with equal StreamKeys read bit-identical per-core record
-// streams. The engine uses this key to partition a grid into batches
-// that RunBatch executes off a single generated stream.
+// -stream inputs — the workload, the core count, and the warmup/measure
+// window lengths — plus the sampling policy, which fixes the lockstep
+// schedule every batch member must share. Everything else — design
+// point, seed, core type, history sizes, simulation mode, miss
+// elimination — only changes how records are consumed, never which
+// records are generated or on what schedule, so two Configs with equal
+// StreamKeys read bit-identical per-core record streams in lockstep.
+// The engine uses this key to partition a grid into batches that
+// RunBatch executes off a single generated stream; sampled and exact
+// cells of one workload therefore batch separately (their stepping
+// schedules are incompatible) while each group still shares its stream
+// internally.
 func (c Config) StreamKey() string {
 	cores := c.Cores
 	if cores == 0 {
@@ -52,7 +69,15 @@ func (c Config) StreamKey() string {
 	if meas == 0 {
 		meas = 60000
 	}
-	h := sha256.Sum256([]byte(fmt.Sprintf("s1|%q|%d|%d|%d", c.Workload, cores, warm, meas)))
+	id := fmt.Sprintf("s1|%q|%d|%d|%d", c.Workload, cores, warm, meas)
+	if p := c.Sampling.internal().Normalized(); p.Enabled() {
+		// Confidence is deliberately absent: it shapes only how the
+		// error bounds are reported, never the lockstep schedule, so
+		// cells differing only in confidence still batch together.
+		id += fmt.Sprintf("|sampled|%d|%d|%g",
+			p.Period, p.IntervalRecords, p.WarmupFraction)
+	}
+	h := sha256.Sum256([]byte(id))
 	return hex.EncodeToString(h[:16])
 }
 
