@@ -8,20 +8,34 @@
 //	shiftd                                  # in-memory store on :8080
 //	shiftd -addr :9000 -cache-dir ~/.shiftcache   # results survive restarts
 //	shiftd -quick -parallel 8               # reduced default scale, 8 workers
+//	shiftd -job-rate 4 -job-burst 256       # looser admission for trusted clients
 //
 // Endpoints (all under /v1; see the README for request/response
 // samples):
 //
-//	POST /v1/run          run one simulation cell (JSON config in, result out)
-//	POST /v1/grid         run a list of cells; results come back in cell order
-//	GET  /v1/figures/{n}  render an experiment by name ("7", "fig7", "tableI", ...)
-//	GET  /v1/healthz      liveness probe
-//	GET  /v1/stats        store hit/miss, simulated/deduped/in-flight counters
+//	POST   /v1/run              run one simulation cell (JSON config in, result out)
+//	POST   /v1/grid             run a list of cells; results come back in cell order
+//	POST   /v1/jobs             submit a cell list asynchronously (202 + job id)
+//	GET    /v1/jobs/{id}        job status with partial results as cells land
+//	GET    /v1/jobs/{id}/stream NDJSON: one event per completed cell, then "end"
+//	DELETE /v1/jobs/{id}        cancel: queued cells dropped, running cells finish
+//	GET    /v1/figures/{n}      render an experiment by name ("7", "fig7", "tableI", ...)
+//	GET    /v1/healthz          liveness probe
+//	GET    /v1/stats            engine, store, queue, and admission counters (JSON)
+//	GET    /v1/metrics          the same counters in Prometheus text format
 //
 // Concurrent identical requests share one simulation (the engine's
 // in-flight deduplication), and every completed cell lands in the store,
 // so a figure requested twice — or a cell shared by two figures — is
 // simulated once. With -cache-dir that holds across restarts too.
+//
+// Asynchronous jobs go through per-client token-bucket admission
+// (-job-rate/-job-burst; one token per cell; rejections answer 429 with
+// Retry-After) into a bounded shortest-job-first queue (-job-queue,
+// -job-workers) that prefers cheap sampled cells over exact ones. Job
+// cells execute on the same engine as synchronous requests, so a
+// drained job's results are bit-identical to /v1/grid for the same
+// cells.
 //
 // Shutdown is graceful: on SIGINT/SIGTERM the listener closes and
 // in-flight requests get -grace to finish. A request abandoned by its
@@ -42,15 +56,21 @@ import (
 	"time"
 
 	"shift"
+	"shift/internal/jobs"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		cacheDir = flag.String("cache-dir", "", "persist results under this directory (tiered memory-over-disk store); empty = in-memory only")
-		parallel = flag.Int("parallel", 0, "engine worker-pool size (0 = GOMAXPROCS)")
-		quick    = flag.Bool("quick", false, "reduced default experiment scale (~6x faster; per-request overrides still apply)")
-		grace    = flag.Duration("grace", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+		addr       = flag.String("addr", ":8080", "listen address")
+		cacheDir   = flag.String("cache-dir", "", "persist results under this directory (tiered memory-over-disk store); empty = in-memory only")
+		parallel   = flag.Int("parallel", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+		quick      = flag.Bool("quick", false, "reduced default experiment scale (~6x faster; per-request overrides still apply)")
+		grace      = flag.Duration("grace", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+		jobRate    = flag.Float64("job-rate", 1, "admission refill rate per client, tokens/second (one cell costs one token)")
+		jobBurst   = flag.Float64("job-burst", 64, "admission bucket capacity per client; jobs with more cells are never admitted")
+		jobQueue   = flag.Int("job-queue", 1024, "bound on queued (not yet running) job cells across all jobs")
+		jobWorkers = flag.Int("job-workers", 0, "job scheduler goroutines (0 = GOMAXPROCS); the engine still bounds simulations")
+		maxBody    = flag.Int64("max-body", 1<<20, "request-body size limit in bytes (413 beyond it)")
 	)
 	flag.Parse()
 
@@ -73,7 +93,16 @@ func main() {
 		rs = shift.NewResultCache()
 		storeDsc = "in-memory"
 	}
-	srv := newServer(shift.NewEngine(*parallel, rs), rs, base)
+	engine := shift.NewEngine(*parallel, rs)
+	jm := jobs.New(jobs.Config{
+		Workers:  *jobWorkers,
+		MaxQueue: *jobQueue,
+		Rate:     *jobRate,
+		Burst:    *jobBurst,
+		Run:      engine.RunOne,
+	})
+	defer jm.Close()
+	srv := newServer(engine, rs, base, jm, *maxBody)
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.handler(),

@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -13,25 +16,32 @@ import (
 	"time"
 
 	"shift"
+	"shift/internal/jobs"
 )
 
 // server wires the HTTP API to one shared engine and result store. All
 // endpoints funnel their cells into the same engine, so concurrent
-// requests — whether single cells, grids, or whole figures — share
-// simulations through the engine's in-flight deduplication and the
-// store.
+// requests — whether single cells, grids, whole figures, or async job
+// cells — share simulations through the engine's in-flight
+// deduplication and the store.
 type server struct {
 	engine   *shift.Engine
 	store    shift.ResultStore
 	base     shift.Options
+	jobs     *jobs.Manager
+	maxBody  int64
 	started  time.Time
 	requests atomic.Int64
 }
 
-// newServer builds a server around a shared engine, its store, and the
-// base options that requests override per-field.
-func newServer(engine *shift.Engine, rs shift.ResultStore, base shift.Options) *server {
-	return &server{engine: engine, store: rs, base: base, started: time.Now()}
+// newServer builds a server around a shared engine, its store, the base
+// options that requests override per-field, the async job manager, and
+// the request-body size limit in bytes.
+func newServer(engine *shift.Engine, rs shift.ResultStore, base shift.Options, jm *jobs.Manager, maxBody int64) *server {
+	if maxBody <= 0 {
+		maxBody = 1 << 20
+	}
+	return &server{engine: engine, store: rs, base: base, jobs: jm, maxBody: maxBody, started: time.Now()}
 }
 
 // handler routes the /v1 API. Method matching is handled by the
@@ -40,13 +50,61 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/grid", s.handleGrid)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		mux.ServeHTTP(w, r)
 	})
+}
+
+// workloadSet indexes shift.Workloads() so request validation can
+// reject unknown names with a 400 instead of letting them fail deep in
+// the engine as a 500.
+var workloadSet = func() map[string]bool {
+	set := make(map[string]bool)
+	for _, w := range shift.Workloads() {
+		set[w] = true
+	}
+	return set
+}()
+
+// decodeBody decodes the request body as JSON into dst under the
+// server's body-size limit, writing the error response itself (400 on
+// malformed JSON, 413 when the body exceeds the limit) and reporting
+// whether decoding succeeded.
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes (see -max-body)", mbe.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return false
+	}
+	return true
+}
+
+// clientKey identifies the client for admission control: the
+// X-Client-ID header when present, the remote IP otherwise.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
 }
 
 // cellSpec is the wire form of one simulation cell. Zero-valued fields
@@ -98,13 +156,56 @@ type cellSpec struct {
 	SampleConfidence float64 `json:"sample_confidence,omitempty"`
 }
 
-// config resolves the wire cell against the server's base options.
-func (c cellSpec) config(base shift.Options) (shift.Config, error) {
+// validate rejects field values the engine would only fail on deep
+// inside a simulation, naming the offending wire field — so clients
+// get a 400 up front instead of a misleading 500.
+func (c cellSpec) validate() error {
 	if c.Workload == "" {
-		return shift.Config{}, errors.New("missing \"workload\"")
+		return errors.New("missing \"workload\"")
+	}
+	if !workloadSet[c.Workload] {
+		return fmt.Errorf("unknown \"workload\" %q (valid: %s)",
+			c.Workload, strings.Join(shift.Workloads(), ", "))
 	}
 	if c.Design == "" {
-		return shift.Config{}, errors.New("missing \"design\"")
+		return errors.New("missing \"design\"")
+	}
+	if c.Cores != 0 && (c.Cores < 1 || c.Cores > 16) {
+		return fmt.Errorf("\"cores\" must be in [1,16], got %d", c.Cores)
+	}
+	if c.HistEntries < 0 {
+		return fmt.Errorf("\"hist_entries\" must be >= 0, got %d", c.HistEntries)
+	}
+	if c.ElimProb < 0 || c.ElimProb > 1 {
+		return fmt.Errorf("\"elim_prob\" must be in [0,1], got %g", c.ElimProb)
+	}
+	if c.WarmupRecords < 0 {
+		return fmt.Errorf("\"warmup_records\" must be >= 0, got %d", c.WarmupRecords)
+	}
+	if c.MeasureRecords < 0 {
+		return fmt.Errorf("\"measure_records\" must be >= 0, got %d", c.MeasureRecords)
+	}
+	if c.SamplePeriod < 0 {
+		return fmt.Errorf("\"sample_period\" must be >= 0, got %d", c.SamplePeriod)
+	}
+	if c.SampleInterval < 0 {
+		return fmt.Errorf("\"sample_interval\" must be >= 0, got %d", c.SampleInterval)
+	}
+	if c.SampleWarmup < 0 || c.SampleWarmup >= 1 {
+		return fmt.Errorf("\"sample_warmup\" must be in [0,1), got %g", c.SampleWarmup)
+	}
+	switch c.SampleConfidence {
+	case 0, 0.90, 0.95, 0.99:
+	default:
+		return fmt.Errorf("\"sample_confidence\" must be one of 0.90, 0.95, 0.99, got %g", c.SampleConfidence)
+	}
+	return nil
+}
+
+// config resolves the wire cell against the server's base options.
+func (c cellSpec) config(base shift.Options) (shift.Config, error) {
+	if err := c.validate(); err != nil {
+		return shift.Config{}, err
 	}
 	d, err := shift.ParseDesign(c.Design)
 	if err != nil {
@@ -147,7 +248,29 @@ func (c cellSpec) config(base shift.Options) (shift.Config, error) {
 		WarmupFraction:  c.SampleWarmup,
 		Confidence:      c.SampleConfidence,
 	}
+	if err := sampledWindowError(cfg.Sampling, cfg.MeasureRecords); err != nil {
+		return shift.Config{}, fmt.Errorf("\"sample_period\": %w", err)
+	}
 	return cfg, nil
+}
+
+// sampledWindowError rejects a sampling policy whose chunk (period x
+// interval) does not fit at least twice in the measurement window —
+// the engine needs two measured intervals for a standard error, and
+// catching it here turns a mid-simulation failure into a 400.
+func sampledWindowError(sampling shift.Sampling, measure int64) error {
+	if !sampling.Enabled() {
+		return nil
+	}
+	interval := sampling.IntervalRecords
+	if interval == 0 {
+		interval = 500
+	}
+	if chunk := sampling.Period * interval; measure < 2*chunk {
+		return fmt.Errorf("measurement window %d fits fewer than two sampling chunks (chunk is %d records: period %d x interval %d)",
+			measure, chunk, sampling.Period, interval)
+	}
+	return nil
 }
 
 // runResponse is the POST /v1/run reply.
@@ -163,8 +286,7 @@ type runResponse struct {
 // handleRun serves POST /v1/run: one cell in, one result out.
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var spec cellSpec
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+	if !s.decodeBody(w, r, &spec) {
 		return
 	}
 	cfg, err := spec.config(s.base)
@@ -182,7 +304,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, runResponse{Key: cfg.Key(), Result: res})
 }
 
-// gridRequest is the POST /v1/grid body.
+// gridRequest is the POST /v1/grid and POST /v1/jobs body.
 type gridRequest struct {
 	// Cells is the experiment grid; duplicates are simulated once.
 	Cells []cellSpec `json:"cells"`
@@ -202,30 +324,39 @@ type gridCellResult struct {
 	Result shift.RunResult `json:"result"`
 }
 
-// handleGrid serves POST /v1/grid: a cell list in, results in cell
-// order out.
-func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
-	var req gridRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
-		return
-	}
-	if len(req.Cells) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("empty \"cells\""))
-		return
-	}
-	cells := make([]shift.Cell, len(req.Cells))
-	for i, spec := range req.Cells {
+// cellsFromSpecs validates and resolves a wire cell list; the error
+// names the failing cell and field.
+func (s *server) cellsFromSpecs(specs []cellSpec) ([]shift.Cell, error) {
+	cells := make([]shift.Cell, len(specs))
+	for i, spec := range specs {
 		cfg, err := spec.config(s.base)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("cell %d: %w", i, err))
-			return
+			return nil, fmt.Errorf("cell %d: %w", i, err)
 		}
 		label := spec.Label
 		if label == "" {
 			label = fmt.Sprintf("%s/%s", cfg.Workload, cfg.Design)
 		}
 		cells[i] = shift.Cell{Label: label, Config: cfg}
+	}
+	return cells, nil
+}
+
+// handleGrid serves POST /v1/grid: a cell list in, results in cell
+// order out.
+func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	var req gridRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Cells) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty \"cells\""))
+		return
+	}
+	cells, err := s.cellsFromSpecs(req.Cells)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
 	results, err := await(r.Context(), func() ([]shift.RunResult, error) {
 		return s.engine.RunAll(cells)
@@ -245,13 +376,244 @@ func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// jobSubmitResponse is the POST /v1/jobs reply (202 Accepted).
+type jobSubmitResponse struct {
+	// ID is the job identifier for the status/stream/cancel endpoints.
+	ID string `json:"id"`
+	// State is the job's initial state ("queued").
+	State string `json:"state"`
+	// Cells is the number of scheduled cells.
+	Cells int `json:"cells"`
+	// StatusURL and StreamURL are the polling and streaming endpoints.
+	StatusURL string `json:"status_url"`
+	StreamURL string `json:"stream_url"`
+}
+
+// handleJobSubmit serves POST /v1/jobs: the same body as /v1/grid, but
+// instead of blocking it answers 202 with a job id after token-bucket
+// admission (429 + Retry-After when the client's bucket is dry, 503 +
+// Retry-After when the queue is full). One admission token is charged
+// per cell.
+func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req gridRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Cells) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty \"cells\""))
+		return
+	}
+	cells, err := s.cellsFromSpecs(req.Cells)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	d := s.jobs.Admit(clientKey(r), len(cells))
+	if d.Never {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("job of %d cells exceeds the admission burst capacity (see -job-burst)", len(cells)))
+		return
+	}
+	if !d.OK {
+		w.Header().Set("Retry-After", strconv.Itoa(int(d.RetryAfter/time.Second)))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("admission bucket empty; retry in %s", d.RetryAfter))
+		return
+	}
+	j, err := s.jobs.Submit(cells)
+	if errors.Is(err, jobs.ErrQueueFull) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobSubmitResponse{
+		ID:        j.ID(),
+		State:     string(jobs.StateQueued),
+		Cells:     len(cells),
+		StatusURL: "/v1/jobs/" + j.ID(),
+		StreamURL: "/v1/jobs/" + j.ID() + "/stream",
+	})
+}
+
+// jobStatusResponse is the GET /v1/jobs/{id} (and DELETE) reply:
+// lifecycle state plus partial results as they land. Results is
+// index-aligned with the submitted cells; entries are null until their
+// cell completes, and once the state is "done" the array is
+// bit-identical to the synchronous POST /v1/grid "results" for the
+// same cells.
+type jobStatusResponse struct {
+	// ID is the job identifier.
+	ID string `json:"id"`
+	// State is "queued", "running", "done", "failed", or "cancelled".
+	State string `json:"state"`
+	// CancelRequested reports a pending cancellation (the state turns
+	// "cancelled" once running cells drain).
+	CancelRequested bool `json:"cancel_requested,omitempty"`
+	// Cells, Completed, Failed, and Dropped count the job's cells by
+	// outcome (Dropped = queued cells discarded by cancellation).
+	Cells     int `json:"cells"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed,omitempty"`
+	Dropped   int `json:"dropped,omitempty"`
+	// Created, Started, and Finished are lifecycle timestamps.
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// Results holds one entry per submitted cell (null until the cell
+	// completes), in request order — never completion order.
+	Results []*gridCellResult `json:"results"`
+	// CellErrors maps cell index to error message for failed cells.
+	CellErrors map[int]string `json:"cell_errors,omitempty"`
+}
+
+// jobStatus converts a registry snapshot to the wire form.
+func jobStatus(st jobs.Status) jobStatusResponse {
+	resp := jobStatusResponse{
+		ID:              st.ID,
+		State:           string(st.State),
+		CancelRequested: st.CancelRequested && !st.State.Terminal(),
+		Cells:           st.Cells,
+		Completed:       st.Completed,
+		Failed:          st.Failed,
+		Dropped:         st.Dropped,
+		Created:         st.Created,
+		Results:         make([]*gridCellResult, st.Cells),
+	}
+	if !st.Started.IsZero() {
+		t := st.Started
+		resp.Started = &t
+	}
+	if !st.Finished.IsZero() {
+		t := st.Finished
+		resp.Finished = &t
+	}
+	for i := 0; i < st.Cells; i++ {
+		if st.Done[i] {
+			resp.Results[i] = &gridCellResult{Label: st.Labels[i], Key: st.Keys[i], Result: st.Results[i]}
+		}
+		if st.CellErrs[i] != "" {
+			if resp.CellErrors == nil {
+				resp.CellErrors = make(map[int]string)
+			}
+			resp.CellErrors[i] = st.CellErrs[i]
+		}
+	}
+	return resp
+}
+
+// handleJobStatus serves GET /v1/jobs/{id}.
+func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, jobStatus(j.Snapshot()))
+}
+
+// handleJobCancel serves DELETE /v1/jobs/{id}: queued cells are
+// dropped, running cells finish and publish their results (the engine
+// seeds the store either way). Cancelling a finished job is a no-op;
+// the reply is the job's status after the cancellation request.
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, jobStatus(j.Snapshot()))
+}
+
+// jobStreamEvent is one NDJSON line of GET /v1/jobs/{id}/stream: a
+// "cell" event per finished cell as it lands, then one final "end"
+// event carrying the job's terminal state.
+type jobStreamEvent struct {
+	// Type is "cell" or "end".
+	Type string `json:"type"`
+	// Index is the cell's position in the submitted job ("cell").
+	Index *int `json:"index,omitempty"`
+	// Label and Key identify the cell ("cell").
+	Label string `json:"label,omitempty"`
+	Key   string `json:"key,omitempty"`
+	// Result is the cell's result ("cell", success only).
+	Result *shift.RunResult `json:"result,omitempty"`
+	// Error is the cell's error message ("cell", failure only).
+	Error string `json:"error,omitempty"`
+	// State is the job's terminal state ("end").
+	State string `json:"state,omitempty"`
+}
+
+// handleJobStream serves GET /v1/jobs/{id}/stream: newline-delimited
+// JSON, one event per completed cell, replayed from the job's start and
+// then followed live until the job reaches a terminal state or the
+// client disconnects.
+func (s *server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	// Push the header out now: a client that opens the stream before any
+	// cell has finished must still see the 200 immediately.
+	if fl != nil {
+		fl.Flush()
+	}
+	enc := json.NewEncoder(w)
+	n := 0
+	for {
+		evs, terminal, changed := j.EventsSince(n)
+		for _, ev := range evs {
+			we := jobStreamEvent{Type: ev.Type}
+			switch ev.Type {
+			case jobs.EventCell:
+				idx := ev.Index
+				we.Index = &idx
+				we.Label = ev.Label
+				we.Key = ev.Key
+				if ev.Err != "" {
+					we.Error = ev.Err
+				} else {
+					res := ev.Result
+					we.Result = &res
+				}
+			case jobs.EventEnd:
+				we.State = string(ev.State)
+			}
+			if err := enc.Encode(we); err != nil {
+				log.Printf("shiftd: streaming job %s: %v", j.ID(), err)
+				return
+			}
+		}
+		n += len(evs)
+		if len(evs) > 0 && fl != nil {
+			fl.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-changed:
+		}
+	}
+}
+
 // handleFigure serves GET /v1/figures/{name}: the named experiment
 // driver's rendered output as text/plain — byte-identical to `shiftsim
 // -experiment {name}` at the same options, since both dispatch through
 // shift.RunExperiment. Query parameters quick, workloads (comma-
-// separated), cores, seed, warmup, measure, and sample (a sampling
-// period; the figure is then regenerated in sampled mode, trading
-// exactness for speed) override the server's base options per request.
+// separated), cores, seed, warmup, measure, sample (a sampling period;
+// the figure is then regenerated in sampled mode, trading exactness
+// for speed), sample_interval, sample_warm, and sample_confidence
+// override the server's base options per request.
 func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	opts, err := s.optionsFromQuery(r.URL.Query())
 	if err != nil {
@@ -275,7 +637,9 @@ func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
 }
 
 // optionsFromQuery applies per-request query overrides to the base
-// options and routes the work through the shared engine.
+// options, validates them (unknown workloads, out-of-range cores, and
+// malformed sampling policies are client errors, not simulation
+// failures), and routes the work through the shared engine.
 func (s *server) optionsFromQuery(q url.Values) (shift.Options, error) {
 	o := s.base
 	if v := q.Get("quick"); v != "" {
@@ -311,6 +675,21 @@ func (s *server) optionsFromQuery(q url.Values) (shift.Options, error) {
 			*p.dst = n
 		}
 	}
+	for _, p := range []struct {
+		name string
+		dst  *float64
+	}{
+		{"sample_warm", &o.Sampling.WarmupFraction},
+		{"sample_confidence", &o.Sampling.Confidence},
+	} {
+		if v := q.Get(p.name); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return o, fmt.Errorf("%s: %w", p.name, err)
+			}
+			*p.dst = f
+		}
+	}
 	if v := q.Get("cores"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {
@@ -318,10 +697,52 @@ func (s *server) optionsFromQuery(q url.Values) (shift.Options, error) {
 		}
 		o.Cores = n
 	}
+	if err := validateOptions(o); err != nil {
+		return o, err
+	}
 	// All figure cells run on the shared engine: one store, one
 	// in-flight table, across every concurrent request.
 	o.Engine = s.engine
 	return o, nil
+}
+
+// validateOptions rejects query-override combinations the experiment
+// drivers would only fail on mid-run, naming the offending query
+// parameter.
+func validateOptions(o shift.Options) error {
+	for _, w := range o.Workloads {
+		if !workloadSet[w] {
+			return fmt.Errorf("workloads: unknown workload %q (valid: %s)",
+				w, strings.Join(shift.Workloads(), ", "))
+		}
+	}
+	if o.Cores < 1 || o.Cores > 16 {
+		return fmt.Errorf("cores: must be in [1,16], got %d", o.Cores)
+	}
+	if o.WarmupRecords < 0 {
+		return fmt.Errorf("warmup: must be >= 0, got %d", o.WarmupRecords)
+	}
+	if o.MeasureRecords < 0 {
+		return fmt.Errorf("measure: must be >= 0, got %d", o.MeasureRecords)
+	}
+	if o.Sampling.Period < 0 {
+		return fmt.Errorf("sample: must be >= 0, got %d", o.Sampling.Period)
+	}
+	if o.Sampling.IntervalRecords < 0 {
+		return fmt.Errorf("sample_interval: must be >= 0, got %d", o.Sampling.IntervalRecords)
+	}
+	if o.Sampling.WarmupFraction < 0 || o.Sampling.WarmupFraction >= 1 {
+		return fmt.Errorf("sample_warm: must be in [0,1), got %g", o.Sampling.WarmupFraction)
+	}
+	switch o.Sampling.Confidence {
+	case 0, 0.90, 0.95, 0.99:
+	default:
+		return fmt.Errorf("sample_confidence: must be one of 0.90, 0.95, 0.99, got %g", o.Sampling.Confidence)
+	}
+	if err := sampledWindowError(o.Sampling, o.MeasureRecords); err != nil {
+		return fmt.Errorf("sample: %w", err)
+	}
+	return nil
 }
 
 // handleHealthz serves GET /v1/healthz.
@@ -355,11 +776,25 @@ type statsResponse struct {
 	// SampledCells counts cells simulated in sampled mode (interval
 	// sampling with functional warming) rather than exactly.
 	SampledCells int64 `json:"sampled_cells"`
+	// QueueDepth is the number of job cells waiting to run.
+	QueueDepth int `json:"queue_depth"`
+	// JobsAdmitted/JobsRejected/JobsCancelled count async job
+	// submissions by admission outcome and cancellations that took
+	// effect.
+	JobsAdmitted  int64 `json:"jobs_admitted"`
+	JobsRejected  int64 `json:"jobs_rejected"`
+	JobsCancelled int64 `json:"jobs_cancelled"`
+	// JobLatencyP50/P90/P99 are submit-to-finish latency percentiles
+	// in seconds over recently completed jobs.
+	JobLatencyP50 float64 `json:"job_latency_p50_seconds"`
+	JobLatencyP90 float64 `json:"job_latency_p90_seconds"`
+	JobLatencyP99 float64 `json:"job_latency_p99_seconds"`
 }
 
 // handleStats serves GET /v1/stats.
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	es := s.engine.Stats()
+	js := s.jobs.Stats()
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Requests:      s.requests.Load(),
@@ -372,7 +807,50 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Batched:       es.Batched,
 		StreamsShared: es.StreamsShared,
 		SampledCells:  es.SampledCells,
+		QueueDepth:    js.QueueDepth,
+		JobsAdmitted:  js.Admitted,
+		JobsRejected:  js.Rejected,
+		JobsCancelled: js.Cancelled,
+		JobLatencyP50: js.LatencyP50,
+		JobLatencyP90: js.LatencyP90,
+		JobLatencyP99: js.LatencyP99,
 	})
+}
+
+// handleMetrics serves GET /v1/metrics in Prometheus text exposition
+// format (version 0.0.4): the job-queue and admission counters, the
+// job-latency summary, and the engine/store counters /v1/stats exposes
+// as JSON.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	es := s.engine.Stats()
+	js := s.jobs.Stats()
+	var b strings.Builder
+	metric := func(name, typ, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+	metric("shiftd_uptime_seconds", "gauge", "Seconds since process start.", time.Since(s.started).Seconds())
+	metric("shiftd_requests_total", "counter", "HTTP requests served (all endpoints).", float64(s.requests.Load()))
+	metric("shiftd_jobs_queue_depth", "gauge", "Job cells waiting to run.", float64(js.QueueDepth))
+	metric("shiftd_jobs_admitted_total", "counter", "Jobs accepted into the queue.", float64(js.Admitted))
+	metric("shiftd_jobs_rejected_total", "counter", "Job submissions refused by admission control or the queue bound.", float64(js.Rejected))
+	metric("shiftd_jobs_cancelled_total", "counter", "Jobs whose cancellation took effect.", float64(js.Cancelled))
+	fmt.Fprintf(&b, "# HELP shiftd_job_latency_seconds Job submit-to-finish latency.\n# TYPE shiftd_job_latency_seconds summary\n")
+	fmt.Fprintf(&b, "shiftd_job_latency_seconds{quantile=\"0.5\"} %g\n", js.LatencyP50)
+	fmt.Fprintf(&b, "shiftd_job_latency_seconds{quantile=\"0.9\"} %g\n", js.LatencyP90)
+	fmt.Fprintf(&b, "shiftd_job_latency_seconds{quantile=\"0.99\"} %g\n", js.LatencyP99)
+	fmt.Fprintf(&b, "shiftd_job_latency_seconds_sum %g\n", js.LatencySum)
+	fmt.Fprintf(&b, "shiftd_job_latency_seconds_count %d\n", js.LatencyCount)
+	metric("shiftd_store_hits_total", "counter", "Result-store lookup hits.", float64(es.StoreHits))
+	metric("shiftd_store_misses_total", "counter", "Result-store lookup misses.", float64(es.StoreMisses))
+	metric("shiftd_store_cells", "gauge", "Results currently stored.", float64(es.StoreCells))
+	metric("shiftd_cells_simulated_total", "counter", "Cells actually simulated.", float64(es.Simulated))
+	metric("shiftd_cells_deduped_total", "counter", "Cells served by a concurrent in-flight simulation.", float64(es.Deduped))
+	metric("shiftd_cells_inflight", "gauge", "Simulations running right now.", float64(es.Inflight))
+	metric("shiftd_cells_batched_total", "counter", "Cells executed through the shared-stream batch path.", float64(es.Batched))
+	metric("shiftd_streams_shared_total", "counter", "Trace-stream generations avoided by batching.", float64(es.StreamsShared))
+	metric("shiftd_cells_sampled_total", "counter", "Cells simulated in sampled mode.", float64(es.SampledCells))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, b.String())
 }
 
 // await runs fn on its own goroutine and waits for its result or for
@@ -399,10 +877,16 @@ func await[T any](ctx context.Context, fn func() (T, error)) (T, error) {
 	}
 }
 
-// writeRunError maps a simulation failure to a response: client
-// disconnects get 503 (nobody is reading anyway, but the status keeps
-// logs honest), everything else is a 500 with the engine's error.
+// writeRunError maps a simulation failure to a response: a request
+// that ran out of deadline gets 504, a client disconnect gets 503
+// (nobody is reading anyway, but the status keeps logs honest), and
+// everything else is a 500 with the engine's error. In both timeout
+// and disconnect cases the simulation continues and seeds the store.
 func writeRunError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(r.Context().Err(), context.DeadlineExceeded) {
+		writeError(w, http.StatusGatewayTimeout, errors.New("request deadline exceeded; simulation continues and will be served from the store"))
+		return
+	}
 	if errors.Is(err, context.Canceled) || errors.Is(r.Context().Err(), context.Canceled) {
 		writeError(w, http.StatusServiceUnavailable, errors.New("request abandoned; simulation continues and will be served from the store"))
 		return
@@ -410,13 +894,17 @@ func writeRunError(w http.ResponseWriter, r *http.Request, err error) {
 	writeError(w, http.StatusInternalServerError, err)
 }
 
-// writeJSON writes v as a JSON response.
+// writeJSON writes v as a JSON response. Encoding failures after the
+// header is committed cannot change the status, but they are logged
+// rather than dropped.
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		log.Printf("shiftd: encoding %d response: %v", code, err)
+	}
 }
 
 // writeError writes a JSON error envelope.

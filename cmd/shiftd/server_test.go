@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"shift"
+	"shift/internal/jobs"
 )
 
 // testOpts is a reduced base scale so endpoint tests stay fast.
@@ -30,7 +31,10 @@ func testOpts() shift.Options {
 func newTestServer(t *testing.T) (*httptest.Server, *server) {
 	t.Helper()
 	rs := shift.NewResultCache()
-	srv := newServer(shift.NewEngine(0, rs), rs, testOpts())
+	engine := shift.NewEngine(0, rs)
+	jm := jobs.New(jobs.Config{Run: engine.RunOne})
+	t.Cleanup(jm.Close)
+	srv := newServer(engine, rs, testOpts(), jm, 1<<20)
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 	return ts, srv
@@ -109,20 +113,26 @@ func TestRunValidation(t *testing.T) {
 		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
 	}
 	for name, body := range map[string]map[string]any{
-		"missing workload": {"design": "SHIFT"},
-		"missing design":   {"workload": "Web Search"},
-		"unknown design":   {"workload": "Web Search", "design": "MYSTERY"},
-		"unknown core":     {"workload": "Web Search", "design": "SHIFT", "core_type": "Huge-OoO"},
+		"missing workload":       {"design": "SHIFT"},
+		"missing design":         {"workload": "Web Search"},
+		"unknown design":         {"workload": "Web Search", "design": "MYSTERY"},
+		"unknown core":           {"workload": "Web Search", "design": "SHIFT", "core_type": "Huge-OoO"},
+		"unknown workload":       {"workload": "No Such Workload", "design": "SHIFT"},
+		"cores too high":         {"workload": "Web Search", "design": "SHIFT", "cores": 17},
+		"cores negative":         {"workload": "Web Search", "design": "SHIFT", "cores": -1},
+		"negative hist":          {"workload": "Web Search", "design": "SHIFT", "hist_entries": -8},
+		"elim_prob out of range": {"workload": "Web Search", "design": "SHIFT", "elim_prob": 1.5},
+		"negative warmup":        {"workload": "Web Search", "design": "SHIFT", "warmup_records": -1},
+		"negative measure":       {"workload": "Web Search", "design": "SHIFT", "measure_records": -1},
+		"negative sample":        {"workload": "Web Search", "design": "SHIFT", "sample_period": -4},
+		"negative interval":      {"workload": "Web Search", "design": "SHIFT", "sample_interval": -1},
+		"warm fraction >= 1":     {"workload": "Web Search", "design": "SHIFT", "sample_period": 3, "sample_warmup": 1.0},
+		"bad confidence":         {"workload": "Web Search", "design": "SHIFT", "sample_period": 3, "sample_confidence": 0.5},
+		"window too small":       {"workload": "Web Search", "design": "SHIFT", "sample_period": 3, "measure_records": 2000},
 	} {
 		if code := postJSON(t, ts.URL+"/v1/run", body, nil); code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", name, code)
 		}
-	}
-	// An unknown workload passes wire validation and fails in the
-	// engine: a 5xx with the cell's error, not a hang or a panic.
-	if code := postJSON(t, ts.URL+"/v1/run",
-		map[string]any{"workload": "No Such Workload", "design": "SHIFT"}, nil); code != http.StatusInternalServerError {
-		t.Errorf("unknown workload: status %d, want 500", code)
 	}
 	// Method matching: GET on a POST route.
 	resp, err = http.Get(ts.URL + "/v1/run")
@@ -339,6 +349,8 @@ func TestStatsEndpointShape(t *testing.T) {
 	for _, field := range []string{
 		"uptime_seconds", "requests", "store_hits", "store_misses",
 		"store_cells", "simulated", "deduped", "inflight",
+		"queue_depth", "jobs_admitted", "jobs_rejected", "jobs_cancelled",
+		"job_latency_p50_seconds", "job_latency_p90_seconds", "job_latency_p99_seconds",
 	} {
 		if !strings.Contains(body, fmt.Sprintf("%q", field)) {
 			t.Errorf("stats body missing field %q:\n%s", field, body)
@@ -411,12 +423,35 @@ func TestFigureEndpointSampled(t *testing.T) {
 		t.Fatalf("sampled figure = %d %q", resp.StatusCode, body)
 	}
 	// A malformed policy is a client error, not a simulation failure.
-	resp2, err := http.Get(ts.URL + "/v1/figures/fig7?sample=-4")
+	for _, q := range []string{
+		"sample=-4",
+		"sample=3&sample_warm=1.5",
+		"sample=3&sample_confidence=0.42",
+		"sample_interval=-1",
+		"workloads=No+Such+Workload",
+		"cores=99",
+	} {
+		getBody(t, ts.URL+"/v1/figures/fig7?"+q, http.StatusBadRequest)
+	}
+}
+
+// TestFigureEndpointSamplingQueryParity: sample_warm and
+// sample_confidence reach the experiment options exactly as the
+// library's Sampling fields would — the served figure is
+// byte-identical to the library rendering at the same policy.
+func TestFigureEndpointSamplingQueryParity(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := getBody(t, ts.URL+
+		"/v1/figures/fig7?workloads=Web+Search&sample=3&sample_warm=0.5&sample_confidence=0.99",
+		http.StatusOK)
+	opts := testOpts()
+	opts.Workloads = []string{"Web Search"}
+	opts.Sampling = shift.Sampling{Period: 3, WarmupFraction: 0.5, Confidence: 0.99}
+	want, err := shift.RunExperiment("fig7", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp2.Body.Close()
-	if resp2.StatusCode != http.StatusInternalServerError && resp2.StatusCode != http.StatusBadRequest {
-		t.Fatalf("negative sample accepted: %d", resp2.StatusCode)
+	if body != want {
+		t.Error("served sampled figure differs from library rendering at the same policy")
 	}
 }

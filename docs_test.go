@@ -19,8 +19,9 @@ import (
 // link scanner), so the gate needs no external tooling.
 
 // docLintDirs is the API surface under the doc-comment contract: the
-// root package and the store subsystem it re-exports backends from.
-var docLintDirs = []string{".", "internal/store"}
+// root package, the store subsystem it re-exports backends from, and
+// the async job subsystem behind shiftd's /v1/jobs API.
+var docLintDirs = []string{".", "internal/store", "internal/jobs"}
 
 // TestExportedSymbolsDocumented fails for every exported top-level
 // symbol, method, struct field, or interface method without a doc

@@ -1,0 +1,171 @@
+// Jobs: drive shiftd's asynchronous job API from Go. Start the server
+// first:
+//
+//	go run ./cmd/shiftd -quick
+//
+// then run this client. It submits a small experiment grid as an async
+// job (POST /v1/jobs → 202 + job id), follows the NDJSON event stream
+// (GET /v1/jobs/{id}/stream) printing each cell result the moment it
+// lands, and finally fetches the completed status document — whose
+// "results" array is byte-identical to what the synchronous POST
+// /v1/grid would have returned for the same cells.
+//
+// A 429 reply means the client's admission bucket is drained; the
+// example honors the Retry-After header and resubmits, which is the
+// intended client loop.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"shift"
+)
+
+// cell is the wire form of one grid cell (a subset of shiftd's
+// cellSpec fields).
+type cell struct {
+	Label        string `json:"label,omitempty"`
+	Workload     string `json:"workload"`
+	Design       string `json:"design"`
+	SamplePeriod int64  `json:"sample_period,omitempty"`
+}
+
+// submitted is the 202 reply of POST /v1/jobs.
+type submitted struct {
+	ID        string `json:"id"`
+	Cells     int    `json:"cells"`
+	StatusURL string `json:"status_url"`
+	StreamURL string `json:"stream_url"`
+}
+
+// event is one NDJSON line of the job stream.
+type event struct {
+	Type   string           `json:"type"`
+	Index  *int             `json:"index,omitempty"`
+	Label  string           `json:"label,omitempty"`
+	Result *shift.RunResult `json:"result,omitempty"`
+	Error  string           `json:"error,omitempty"`
+	State  string           `json:"state,omitempty"`
+}
+
+// submit posts the job, retrying on 429 as Retry-After instructs.
+func submit(client *http.Client, base string, cells []cell) (submitted, error) {
+	body, err := json.Marshal(map[string]any{"cells": cells})
+	if err != nil {
+		return submitted{}, err
+	}
+	for {
+		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return submitted{}, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			wait, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+			resp.Body.Close()
+			if wait < 1 {
+				wait = 1
+			}
+			fmt.Printf("admission bucket drained; retrying in %ds\n", wait)
+			time.Sleep(time.Duration(wait) * time.Second)
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			msg, _ := io.ReadAll(resp.Body)
+			return submitted{}, fmt.Errorf("POST /v1/jobs: %s: %s", resp.Status, msg)
+		}
+		var sub submitted
+		err = json.NewDecoder(resp.Body).Decode(&sub)
+		return sub, err
+	}
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "shiftd base URL")
+	workload := flag.String("workload", "Web Search", "Table I workload")
+	flag.Parse()
+	client := &http.Client{Timeout: 30 * time.Minute}
+
+	if resp, err := client.Get(*addr + "/v1/healthz"); err != nil {
+		log.Fatalf("is shiftd running? (go run ./cmd/shiftd -quick): %v", err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// A mixed grid: the sampled probe cells are cheapest, so the
+	// server's shortest-job-first queue streams them back first even
+	// though they are listed last.
+	cells := []cell{
+		{Label: "exact/base", Workload: *workload, Design: "Baseline"},
+		{Label: "exact/shift", Workload: *workload, Design: "SHIFT"},
+		{Label: "probe/base", Workload: *workload, Design: "Baseline", SamplePeriod: 10},
+		{Label: "probe/shift", Workload: *workload, Design: "SHIFT", SamplePeriod: 10},
+	}
+	sub, err := submit(client, *addr, cells)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job %s accepted (%d cells); streaming %s\n", sub.ID, sub.Cells, sub.StreamURL)
+
+	stream, err := client.Get(*addr + sub.StreamURL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stream.Body.Close()
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			log.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		switch ev.Type {
+		case "cell":
+			if ev.Error != "" {
+				fmt.Printf("  cell %d %-12s FAILED: %s\n", *ev.Index, ev.Label, ev.Error)
+				continue
+			}
+			fmt.Printf("  cell %d %-12s throughput=%.2f sampled=%v\n",
+				*ev.Index, ev.Label, ev.Result.Throughput, ev.Result.Sampled)
+		case "end":
+			fmt.Printf("job %s: %s\n", sub.ID, ev.State)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The completed status document carries the full result array in
+	// request order — identical to a synchronous /v1/grid reply.
+	resp, err := client.Get(*addr + sub.StatusURL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status struct {
+		State   string `json:"state"`
+		Results []*struct {
+			Label  string          `json:"label"`
+			Result shift.RunResult `json:"result"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal state %s; results in request order:\n", status.State)
+	for _, r := range status.Results {
+		if r == nil {
+			continue
+		}
+		fmt.Printf("  %-12s throughput=%.2f\n", r.Label, r.Result.Throughput)
+	}
+}

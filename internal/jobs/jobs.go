@@ -1,0 +1,597 @@
+// Package jobs is the asynchronous job subsystem behind shiftd's
+// /v1/jobs API: a job registry, per-client token-bucket admission
+// control, and a bounded shortest-job-first cell scheduler.
+//
+// A job is an ordered list of simulation cells (the same shape as a
+// synchronous /v1/grid request). Submitted jobs enqueue one schedulable
+// unit per cell into a single process-wide priority queue ordered by
+// estimated cost (EstimateCost), so cheap sampled probe cells overtake
+// expensive exact confirmations regardless of arrival order — the
+// SJF-style batch formation of BLIS-like inference schedulers. Workers
+// pop cells and execute them through the caller-supplied run function
+// (shiftd passes Engine.RunOne, so job cells share the engine's store,
+// in-flight deduplication, and concurrency bound with every
+// synchronous request).
+//
+// Completion fan-in is cell-keyed, never completion-ordered: each
+// result lands in its cell's slot, so a drained job's result list is
+// deterministically ordered like the request — and, because the
+// simulator is a pure function of its config and both paths run the
+// same engine, bit-identical to the synchronous /v1/grid reply for the
+// same cells.
+//
+// Cancellation drops queued cells (lazily reaped from the queue) while
+// running cells finish and publish their results — the engine seeds
+// the result store either way, so cancelled work is never wasted.
+package jobs
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"shift"
+)
+
+// State is a job lifecycle state.
+type State string
+
+// The job lifecycle: Queued → Running → one of the terminal states
+// Done (every cell succeeded), Failed (at least one cell errored), or
+// Cancelled (cancellation requested before completion).
+const (
+	// StateQueued means no cell has started executing yet.
+	StateQueued State = "queued"
+	// StateRunning means at least one cell has started.
+	StateRunning State = "running"
+	// StateDone means every cell completed successfully.
+	StateDone State = "done"
+	// StateFailed means all cells finished and at least one errored.
+	StateFailed State = "failed"
+	// StateCancelled means the job was cancelled; queued cells were
+	// dropped and any running cells have since finished.
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event types carried by Event.Type.
+const (
+	// EventCell announces one finished cell (success or failure).
+	EventCell = "cell"
+	// EventEnd announces the job's terminal state; it is always the
+	// last event of a job.
+	EventEnd = "end"
+)
+
+// Event is one entry of a job's append-only event log, consumed by the
+// streaming endpoint: one EventCell per finished cell as it lands,
+// then exactly one EventEnd.
+type Event struct {
+	// Type is EventCell or EventEnd.
+	Type string
+	// Index is the cell's position in the submitted job (EventCell).
+	Index int
+	// Label is the cell's label (EventCell).
+	Label string
+	// Key is the cell's content-address, shift.Config.Key (EventCell).
+	Key string
+	// Result is the cell's result (EventCell with empty Err).
+	Result shift.RunResult
+	// Err is the cell's error message (EventCell of a failed cell).
+	Err string
+	// State is the job's terminal state (EventEnd).
+	State State
+}
+
+// cell execution states (per cell, guarded by Job.mu).
+type cellState uint8
+
+const (
+	cellQueued cellState = iota
+	cellRunning
+	cellDone
+	cellFailed
+	cellDropped
+)
+
+// Job is one submitted asynchronous job. All exported methods are safe
+// for concurrent use.
+type Job struct {
+	id      string
+	cells   []shift.Cell
+	keys    []string
+	created time.Time
+
+	mu        sync.Mutex
+	state     State
+	cancelled bool
+	cellState []cellState
+	results   []shift.RunResult
+	cellErrs  []string
+	completed int
+	failed    int
+	dropped   int
+	running   int
+	started   time.Time
+	finished  time.Time
+	events    []Event
+	changed   chan struct{}
+}
+
+// ID returns the job's registry identifier.
+func (j *Job) ID() string { return j.id }
+
+// Status is a point-in-time snapshot of a job, safe to read without
+// further locking. Slices are index-aligned with the submitted cells.
+type Status struct {
+	// ID is the job identifier.
+	ID string
+	// State is the lifecycle state at snapshot time.
+	State State
+	// CancelRequested reports that cancellation was requested; the
+	// state turns StateCancelled once running cells drain.
+	CancelRequested bool
+	// Cells is the number of submitted cells.
+	Cells int
+	// Completed counts cells that finished successfully.
+	Completed int
+	// Failed counts cells whose simulation errored.
+	Failed int
+	// Dropped counts queued cells dropped by cancellation.
+	Dropped int
+	// Created, Started, and Finished are the lifecycle timestamps
+	// (zero when the transition has not happened yet).
+	Created, Started, Finished time.Time
+	// Done[i] reports whether Results[i] is valid.
+	Done []bool
+	// Labels[i] is cell i's label.
+	Labels []string
+	// Keys[i] is cell i's content-address (shift.Config.Key).
+	Keys []string
+	// Results[i] is cell i's result, valid iff Done[i].
+	Results []shift.RunResult
+	// CellErrs[i] is cell i's error message, empty unless the cell
+	// failed.
+	CellErrs []string
+}
+
+// Snapshot returns the job's current status.
+func (j *Job) Snapshot() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:              j.id,
+		State:           j.state,
+		CancelRequested: j.cancelled,
+		Cells:           len(j.cells),
+		Completed:       j.completed,
+		Failed:          j.failed,
+		Dropped:         j.dropped,
+		Created:         j.created,
+		Started:         j.started,
+		Finished:        j.finished,
+		Done:            make([]bool, len(j.cells)),
+		Labels:          make([]string, len(j.cells)),
+		Keys:            append([]string(nil), j.keys...),
+		Results:         append([]shift.RunResult(nil), j.results...),
+		CellErrs:        append([]string(nil), j.cellErrs...),
+	}
+	for i := range j.cells {
+		st.Done[i] = j.cellState[i] == cellDone
+		st.Labels[i] = j.cells[i].Label
+	}
+	return st
+}
+
+// EventsSince returns the events appended at or after index n, whether
+// the job has reached a terminal state, and a channel closed on the
+// next change — so a streaming consumer can replay the log from the
+// beginning and then follow it live without polling.
+func (j *Job) EventsSince(n int) (evs []Event, terminal bool, changed <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n < len(j.events) {
+		evs = append([]Event(nil), j.events[n:]...)
+	}
+	return evs, j.state.Terminal(), j.changed
+}
+
+// broadcast wakes every EventsSince follower. Called with mu held.
+func (j *Job) broadcast() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// startCell transitions cell i to running, or reports false if it is
+// no longer runnable (dropped by cancellation, or the job is closed).
+func (j *Job) startCell(i int, now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cancelled || j.cellState[i] != cellQueued {
+		return false
+	}
+	j.cellState[i] = cellRunning
+	j.running++
+	if j.state == StateQueued {
+		j.state = StateRunning
+		j.started = now
+	}
+	return true
+}
+
+// completeCell records cell i's outcome, appends its event, and
+// finalizes the job if it was the last outstanding cell. It returns
+// whether the job just reached a terminal state and, if so, its
+// submit-to-finish latency in seconds.
+func (j *Job) completeCell(i int, r shift.RunResult, err error, now time.Time) (finished bool, latency float64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.running--
+	ev := Event{Type: EventCell, Index: i, Label: j.cells[i].Label, Key: j.keys[i]}
+	if err != nil {
+		j.cellState[i] = cellFailed
+		j.failed++
+		j.cellErrs[i] = err.Error()
+		ev.Err = err.Error()
+	} else {
+		j.cellState[i] = cellDone
+		j.completed++
+		j.results[i] = r
+		ev.Result = r
+	}
+	j.events = append(j.events, ev)
+	finished, latency = j.maybeFinalize(now)
+	j.broadcast()
+	return finished, latency
+}
+
+// maybeFinalize moves the job to its terminal state once no cell is
+// queued or running. Called with mu held; returns whether it
+// finalized and the job latency in seconds.
+func (j *Job) maybeFinalize(now time.Time) (bool, float64) {
+	if j.state.Terminal() || j.running > 0 ||
+		j.completed+j.failed+j.dropped < len(j.cells) {
+		return false, 0
+	}
+	switch {
+	case j.cancelled:
+		j.state = StateCancelled
+	case j.failed > 0:
+		j.state = StateFailed
+	default:
+		j.state = StateDone
+	}
+	j.finished = now
+	j.events = append(j.events, Event{Type: EventEnd, State: j.state})
+	return true, now.Sub(j.created).Seconds()
+}
+
+// cancel requests cancellation: queued cells are dropped immediately,
+// running cells keep going. It returns how many queued cells it
+// dropped, whether the request took effect (the job was not already
+// terminal), whether the job finalized right away (nothing was
+// running), and the job latency if it did.
+func (j *Job) cancel(now time.Time) (droppedQueued int, tookEffect, finished bool, latency float64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() || j.cancelled {
+		return 0, false, false, 0
+	}
+	j.cancelled = true
+	for i, cs := range j.cellState {
+		if cs == cellQueued {
+			j.cellState[i] = cellDropped
+			j.dropped++
+			droppedQueued++
+		}
+	}
+	finished, latency = j.maybeFinalize(now)
+	j.broadcast()
+	return droppedQueued, true, finished, latency
+}
+
+// ErrQueueFull is returned by Submit when admitting the job would push
+// the queue past its bound; the caller should back off and retry.
+var ErrQueueFull = errors.New("jobs: queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("jobs: manager closed")
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Workers is the number of scheduler goroutines executing cells
+	// (0 = runtime.GOMAXPROCS). The engine's own semaphore still bounds
+	// concurrent simulations process-wide, so Workers only caps how
+	// many job cells compete for engine slots at once.
+	Workers int
+	// MaxQueue bounds the number of queued (not yet running) cells
+	// across all jobs (0 = 1024). Submissions that would exceed it
+	// fail with ErrQueueFull.
+	MaxQueue int
+	// Rate is the per-client admission refill rate in tokens per
+	// second; one cell costs one token (0 = 1).
+	Rate float64
+	// Burst is the per-client bucket capacity; a job with more cells
+	// than Burst can never be admitted (0 = 64).
+	Burst float64
+	// Run executes one cell (required). shiftd passes Engine.RunOne so
+	// job cells share the engine with synchronous requests.
+	Run func(shift.Config) (shift.RunResult, error)
+	// Now supplies the clock (nil = time.Now; tests inject a fake).
+	Now func() time.Time
+}
+
+// Manager owns the job registry, the admission buckets, and the
+// SJF scheduler. All methods are safe for concurrent use.
+type Manager struct {
+	cfg     Config
+	buckets *Buckets
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heap   cellHeap
+	stale  int // heap entries for cells no longer runnable (cancelled)
+	seq    int64
+	nextID int64
+	jobs   map[string]*Job
+	closed bool
+
+	admitted  int64
+	rejected  int64
+	cancelled int64
+
+	// Completed-job latencies, a bounded ring feeding the percentile
+	// stats; count/sum cover every completed job regardless of ring
+	// eviction.
+	latencies []float64
+	latPos    int
+	latCount  int64
+	latSum    float64
+}
+
+// latencyRing bounds the latency samples kept for percentiles.
+const latencyRing = 1024
+
+// New returns a running manager with cfg.Workers scheduler goroutines.
+// Call Close to stop them.
+func New(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 1024
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 1
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = 64
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Run == nil {
+		panic("jobs: Config.Run is required")
+	}
+	m := &Manager{
+		cfg:     cfg,
+		buckets: NewBuckets(cfg.Rate, cfg.Burst, cfg.Now),
+		jobs:    make(map[string]*Job),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Admit runs the token-bucket admission check for a job of cells cells
+// from the given client, debiting the bucket on admission and counting
+// rejections. Call it before Submit.
+func (m *Manager) Admit(client string, cells int) Decision {
+	d := m.buckets.Take(client, float64(cells))
+	if !d.OK {
+		m.mu.Lock()
+		m.rejected++
+		m.mu.Unlock()
+	}
+	return d
+}
+
+// Submit registers a new job and enqueues its cells. It returns
+// ErrQueueFull when the queued-cell bound would be exceeded (the
+// rejection is counted) and ErrClosed after Close.
+func (m *Manager) Submit(cells []shift.Cell) (*Job, error) {
+	if len(cells) == 0 {
+		return nil, errors.New("jobs: empty job")
+	}
+	now := m.cfg.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if len(m.heap)-m.stale+len(cells) > m.cfg.MaxQueue {
+		m.rejected++
+		return nil, ErrQueueFull
+	}
+	m.nextID++
+	j := &Job{
+		id:        fmt.Sprintf("j-%06d", m.nextID),
+		cells:     append([]shift.Cell(nil), cells...),
+		keys:      make([]string, len(cells)),
+		created:   now,
+		state:     StateQueued,
+		cellState: make([]cellState, len(cells)),
+		results:   make([]shift.RunResult, len(cells)),
+		cellErrs:  make([]string, len(cells)),
+		changed:   make(chan struct{}),
+	}
+	for i := range j.cells {
+		j.keys[i] = j.cells[i].Config.Key()
+	}
+	m.jobs[j.id] = j
+	for i := range j.cells {
+		m.seq++
+		heap.Push(&m.heap, cellItem{job: j, cell: i, cost: EstimateCost(j.cells[i].Config), seq: m.seq})
+	}
+	m.admitted++
+	m.cond.Broadcast()
+	return j, nil
+}
+
+// Get returns the job with the given id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation of the job with the given id: queued
+// cells are dropped, running cells finish and publish their results.
+// It reports whether the id exists; cancelling a terminal job is a
+// no-op.
+func (m *Manager) Cancel(id string) (*Job, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	dropped, tookEffect, finished, lat := j.cancel(m.cfg.Now())
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stale += dropped
+	if tookEffect {
+		m.cancelled++
+	}
+	if finished {
+		m.recordLatencyLocked(lat)
+	}
+	return j, true
+}
+
+// Close stops the scheduler: queued cells are discarded and workers
+// exit; cells already running finish (and publish) in the background.
+// Jobs with discarded cells never reach a terminal state, so Close is
+// for process shutdown, not graceful drain.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.heap = nil
+	m.stale = 0
+	m.cond.Broadcast()
+}
+
+// worker pops the cheapest runnable cell and executes it, forever.
+func (m *Manager) worker() {
+	for {
+		m.mu.Lock()
+		for len(m.heap) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		it := heap.Pop(&m.heap).(cellItem)
+		started := it.job.startCell(it.cell, m.cfg.Now())
+		if !started {
+			m.stale--
+			m.mu.Unlock()
+			continue
+		}
+		m.mu.Unlock()
+		r, err := m.cfg.Run(it.job.cells[it.cell].Config)
+		if finished, lat := it.job.completeCell(it.cell, r, err, m.cfg.Now()); finished {
+			m.mu.Lock()
+			m.recordLatencyLocked(lat)
+			m.mu.Unlock()
+		}
+	}
+}
+
+// recordLatencyLocked adds one completed-job latency to the ring.
+// Called with mu held.
+func (m *Manager) recordLatencyLocked(lat float64) {
+	if len(m.latencies) < latencyRing {
+		m.latencies = append(m.latencies, lat)
+	} else {
+		m.latencies[m.latPos] = lat
+		m.latPos = (m.latPos + 1) % latencyRing
+	}
+	m.latCount++
+	m.latSum += lat
+}
+
+// Stats is a point-in-time snapshot of the manager's counters, served
+// by shiftd's /v1/stats and /v1/metrics.
+type Stats struct {
+	// QueueDepth is the number of queued runnable cells (stale entries
+	// for cancelled cells excluded).
+	QueueDepth int
+	// Admitted counts jobs accepted into the queue.
+	Admitted int64
+	// Rejected counts submissions refused by admission control or the
+	// queue bound.
+	Rejected int64
+	// Cancelled counts jobs whose cancellation took effect.
+	Cancelled int64
+	// LatencyCount and LatencySum aggregate submit-to-finish latencies
+	// (seconds) over every job that reached a terminal state.
+	LatencyCount int64
+	// LatencySum is the sum of those latencies in seconds.
+	LatencySum float64
+	// LatencyP50, LatencyP90, and LatencyP99 are percentile latencies
+	// in seconds over the most recent completed jobs (up to 1024).
+	LatencyP50, LatencyP90, LatencyP99 float64
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{
+		QueueDepth:   len(m.heap) - m.stale,
+		Admitted:     m.admitted,
+		Rejected:     m.rejected,
+		Cancelled:    m.cancelled,
+		LatencyCount: m.latCount,
+		LatencySum:   m.latSum,
+	}
+	s.LatencyP50 = percentile(m.latencies, 0.50)
+	s.LatencyP90 = percentile(m.latencies, 0.90)
+	s.LatencyP99 = percentile(m.latencies, 0.99)
+	return s
+}
+
+// percentile returns the nearest-rank q-percentile of samples (0 when
+// empty).
+func percentile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

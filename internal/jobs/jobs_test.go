@@ -1,0 +1,402 @@
+package jobs
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"shift"
+)
+
+// testCell builds a cell whose estimated cost is (warm+meas) for one
+// core, so tests can order the SJF queue precisely.
+func testCell(workload string, meas int64) shift.Cell {
+	return shift.Cell{
+		Label: workload,
+		Config: shift.Config{
+			Workload:       workload,
+			Cores:          1,
+			WarmupRecords:  1,
+			MeasureRecords: meas,
+		},
+	}
+}
+
+// blockingRunner records the workload of each started cell and blocks
+// until released, one token per call.
+type blockingRunner struct {
+	started chan string
+	release chan struct{}
+	fail    map[string]bool
+}
+
+func newBlockingRunner() *blockingRunner {
+	return &blockingRunner{
+		started: make(chan string, 64),
+		release: make(chan struct{}, 64),
+	}
+}
+
+func (b *blockingRunner) run(cfg shift.Config) (shift.RunResult, error) {
+	b.started <- cfg.Workload
+	<-b.release
+	if b.fail[cfg.Workload] {
+		return shift.RunResult{}, errors.New("boom: " + cfg.Workload)
+	}
+	return shift.RunResult{MPKI: float64(cfg.MeasureRecords)}, nil
+}
+
+func (b *blockingRunner) awaitStart(t *testing.T) string {
+	t.Helper()
+	select {
+	case w := <-b.started:
+		return w
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for a cell to start")
+		return ""
+	}
+}
+
+// waitTerminal follows the job's event log until the end event.
+func waitTerminal(t *testing.T, j *Job) []Event {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	var all []Event
+	n := 0
+	for {
+		evs, terminal, changed := j.EventsSince(n)
+		all = append(all, evs...)
+		n += len(evs)
+		if terminal {
+			return all
+		}
+		select {
+		case <-changed:
+		case <-deadline:
+			t.Fatalf("timed out waiting for job %s to finish (state %v)", j.ID(), j.Snapshot().State)
+		}
+	}
+}
+
+func TestSJFOrder(t *testing.T) {
+	r := newBlockingRunner()
+	m := New(Config{Workers: 1, Run: r.run})
+	defer m.Close()
+
+	// Occupy the single worker so subsequent submissions queue up.
+	plug, err := m.Submit([]shift.Cell{testCell("plug", 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.awaitStart(t); got != "plug" {
+		t.Fatalf("first start = %q, want plug", got)
+	}
+
+	// Submit most-expensive-first; SJF must start them cheapest-first.
+	for _, c := range []struct {
+		w    string
+		meas int64
+	}{{"big", 90000}, {"mid", 50000}, {"small", 10000}} {
+		if _, err := m.Submit([]shift.Cell{testCell(c.w, c.meas)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"small", "mid", "big"}
+	for i := 0; i < 4; i++ {
+		r.release <- struct{}{}
+	}
+	for _, w := range want {
+		if got := r.awaitStart(t); got != w {
+			t.Fatalf("start order: got %q, want %q", got, w)
+		}
+	}
+	waitTerminal(t, plug)
+}
+
+func TestEqualCostIsFIFO(t *testing.T) {
+	r := newBlockingRunner()
+	m := New(Config{Workers: 1, Run: r.run})
+	defer m.Close()
+
+	if _, err := m.Submit([]shift.Cell{testCell("plug", 100)}); err != nil {
+		t.Fatal(err)
+	}
+	r.awaitStart(t)
+	for _, w := range []string{"first", "second", "third"} {
+		c := testCell(w, 1000)
+		c.Config.Seed = int64(len(w)) // distinct keys, equal cost
+		if _, err := m.Submit([]shift.Cell{c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		r.release <- struct{}{}
+	}
+	for _, w := range []string{"first", "second", "third"} {
+		if got := r.awaitStart(t); got != w {
+			t.Fatalf("equal-cost start order: got %q, want %q", got, w)
+		}
+	}
+}
+
+func TestJobLifecycleAndEvents(t *testing.T) {
+	r := newBlockingRunner()
+	m := New(Config{Workers: 1, Run: r.run})
+	defer m.Close()
+
+	j, err := m.Submit([]shift.Cell{testCell("a", 1000), testCell("b", 2000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Snapshot(); st.State != StateQueued || st.Cells != 2 {
+		t.Fatalf("fresh snapshot = %+v, want queued with 2 cells", st)
+	}
+	r.release <- struct{}{}
+	r.release <- struct{}{}
+	evs := waitTerminal(t, j)
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3 (2 cells + end): %+v", len(evs), evs)
+	}
+	// SJF runs "a" (cheaper) first; events arrive in completion order.
+	if evs[0].Type != EventCell || evs[0].Index != 0 || evs[0].Label != "a" {
+		t.Fatalf("event 0 = %+v, want cell 0 (a)", evs[0])
+	}
+	if evs[1].Type != EventCell || evs[1].Index != 1 {
+		t.Fatalf("event 1 = %+v, want cell 1", evs[1])
+	}
+	if evs[2].Type != EventEnd || evs[2].State != StateDone {
+		t.Fatalf("event 2 = %+v, want end/done", evs[2])
+	}
+	st := j.Snapshot()
+	if st.State != StateDone || st.Completed != 2 || st.Failed != 0 {
+		t.Fatalf("final snapshot = %+v, want done with 2 completed", st)
+	}
+	if st.Results[0].MPKI != 1000 || st.Results[1].MPKI != 2000 {
+		t.Fatalf("results landed out of slot: %+v", st.Results)
+	}
+	if st.Started.IsZero() || st.Finished.IsZero() {
+		t.Fatal("missing lifecycle timestamps")
+	}
+	// Replay from the start returns the full log again.
+	replay, terminal, _ := j.EventsSince(0)
+	if !terminal || len(replay) != 3 {
+		t.Fatalf("replay: terminal=%v events=%d, want true/3", terminal, len(replay))
+	}
+}
+
+func TestFailedCellFailsJob(t *testing.T) {
+	r := newBlockingRunner()
+	r.fail = map[string]bool{"bad": true}
+	m := New(Config{Workers: 1, Run: r.run})
+	defer m.Close()
+
+	j, err := m.Submit([]shift.Cell{testCell("bad", 1000), testCell("good", 2000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.release <- struct{}{}
+	r.release <- struct{}{}
+	evs := waitTerminal(t, j)
+	if evs[len(evs)-1].State != StateFailed {
+		t.Fatalf("end state = %v, want failed", evs[len(evs)-1].State)
+	}
+	st := j.Snapshot()
+	if st.Completed != 1 || st.Failed != 1 {
+		t.Fatalf("snapshot = %+v, want 1 completed 1 failed", st)
+	}
+	if st.CellErrs[0] == "" || st.CellErrs[1] != "" {
+		t.Fatalf("cell errors = %q, want error only at index 0", st.CellErrs)
+	}
+}
+
+func TestCancelDropsQueuedFinishesRunning(t *testing.T) {
+	r := newBlockingRunner()
+	m := New(Config{Workers: 1, Run: r.run})
+	defer m.Close()
+
+	// Cell 0 is cheapest, so the single worker picks it first and the
+	// other two stay queued.
+	j, err := m.Submit([]shift.Cell{
+		testCell("running", 1000),
+		testCell("queued1", 2000),
+		testCell("queued2", 3000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.awaitStart(t); got != "running" {
+		t.Fatalf("started %q, want running", got)
+	}
+
+	got, ok := m.Cancel(j.ID())
+	if !ok || got != j {
+		t.Fatal("Cancel did not find the job")
+	}
+	st := j.Snapshot()
+	if !st.CancelRequested || st.Dropped != 2 || st.State.Terminal() {
+		t.Fatalf("post-cancel snapshot = %+v, want 2 dropped, not yet terminal", st)
+	}
+	// Cancelling again is a no-op.
+	if _, ok := m.Cancel(j.ID()); !ok {
+		t.Fatal("second Cancel did not find the job")
+	}
+	if s := m.Stats(); s.Cancelled != 1 {
+		t.Fatalf("Cancelled = %d, want 1 (second cancel is a no-op)", s.Cancelled)
+	}
+
+	// The running cell finishes and publishes; then the job finalizes.
+	r.release <- struct{}{}
+	evs := waitTerminal(t, j)
+	if evs[len(evs)-1].State != StateCancelled {
+		t.Fatalf("end state = %v, want cancelled", evs[len(evs)-1].State)
+	}
+	st = j.Snapshot()
+	if st.Completed != 1 || st.Dropped != 2 || !st.Done[0] {
+		t.Fatalf("final snapshot = %+v, want the running cell completed", st)
+	}
+
+	// The dropped cells' stale heap entries are reaped; the queue
+	// drains to empty.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().QueueDepth != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth stuck at %d", m.Stats().QueueDepth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCancelQueuedJobFinalizesImmediately(t *testing.T) {
+	r := newBlockingRunner()
+	m := New(Config{Workers: 1, Run: r.run})
+	defer m.Close()
+
+	// Occupy the worker so the target job never starts.
+	if _, err := m.Submit([]shift.Cell{testCell("plug", 100)}); err != nil {
+		t.Fatal(err)
+	}
+	r.awaitStart(t)
+	j, err := m.Submit([]shift.Cell{testCell("a", 1000), testCell("b", 2000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Cancel(j.ID()); !ok {
+		t.Fatal("Cancel did not find the job")
+	}
+	st := j.Snapshot()
+	if st.State != StateCancelled || st.Dropped != 2 {
+		t.Fatalf("snapshot = %+v, want immediately cancelled with 2 dropped", st)
+	}
+	evs, terminal, _ := j.EventsSince(0)
+	if !terminal || len(evs) != 1 || evs[0].Type != EventEnd {
+		t.Fatalf("events = %+v, want just the end event", evs)
+	}
+	r.release <- struct{}{}
+}
+
+func TestQueueBound(t *testing.T) {
+	r := newBlockingRunner()
+	m := New(Config{Workers: 1, MaxQueue: 2, Run: r.run})
+	defer m.Close()
+
+	if _, err := m.Submit([]shift.Cell{testCell("plug", 100)}); err != nil {
+		t.Fatal(err)
+	}
+	r.awaitStart(t) // the plug cell left the queue and occupies the worker
+	if _, err := m.Submit([]shift.Cell{testCell("a", 1000), testCell("b", 2000)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit([]shift.Cell{testCell("c", 3000)}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit error = %v, want ErrQueueFull", err)
+	}
+	if s := m.Stats(); s.Rejected != 1 || s.QueueDepth != 2 {
+		t.Fatalf("stats = %+v, want 1 rejected, depth 2", s)
+	}
+	for i := 0; i < 3; i++ {
+		r.release <- struct{}{}
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	m := New(Config{Workers: 1, Run: func(shift.Config) (shift.RunResult, error) {
+		return shift.RunResult{}, nil
+	}})
+	m.Close()
+	if _, err := m.Submit([]shift.Cell{testCell("a", 1)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close = %v, want ErrClosed", err)
+	}
+	if _, err := m.Submit(nil); err == nil {
+		t.Fatal("empty submit succeeded, want error")
+	}
+}
+
+func TestAdmitCountsRejections(t *testing.T) {
+	m := New(Config{Workers: 1, Rate: 1, Burst: 2, Run: func(shift.Config) (shift.RunResult, error) {
+		return shift.RunResult{}, nil
+	}})
+	defer m.Close()
+	if d := m.Admit("c1", 2); !d.OK {
+		t.Fatalf("first admit = %+v, want OK", d)
+	}
+	d := m.Admit("c1", 1)
+	if d.OK || d.Never || d.RetryAfter < time.Second {
+		t.Fatalf("drained admit = %+v, want rejection with Retry-After >= 1s", d)
+	}
+	if d := m.Admit("c1", 3); !d.Never {
+		t.Fatalf("oversized admit = %+v, want Never", d)
+	}
+	if s := m.Stats(); s.Rejected != 2 {
+		t.Fatalf("Rejected = %d, want 2", s.Rejected)
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	r := newBlockingRunner()
+	m := New(Config{Workers: 1, Run: r.run, Now: clock})
+	defer m.Close()
+
+	j, err := m.Submit([]shift.Cell{testCell("a", 1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.awaitStart(t)
+	now = now.Add(3 * time.Second)
+	r.release <- struct{}{}
+	waitTerminal(t, j)
+	s := m.Stats()
+	if s.LatencyCount != 1 || s.LatencySum != 3 || s.LatencyP50 != 3 {
+		t.Fatalf("latency stats = %+v, want count 1, sum 3, p50 3", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(i + 1)
+	}
+	for _, tc := range []struct {
+		q, want float64
+	}{{0.50, 50}, {0.90, 90}, {0.99, 99}, {1.0, 100}} {
+		if got := percentile(samples, tc.q); got != tc.want {
+			t.Errorf("percentile(1..100, %g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(nil) = %g, want 0", got)
+	}
+}
+
+func TestEstimateCostPrefersSampled(t *testing.T) {
+	exact := shift.Config{Cores: 4, WarmupRecords: 60000, MeasureRecords: 60000}
+	sampled := exact
+	sampled.Sampling = shift.Sampling{Period: 10}
+	ce, cs := EstimateCost(exact), EstimateCost(sampled)
+	if cs >= ce {
+		t.Fatalf("sampled cost %g >= exact cost %g; SJF would not prefer probes", cs, ce)
+	}
+	if cs <= 0 || ce != 120000*4 {
+		t.Fatalf("unexpected costs: sampled %g exact %g", cs, ce)
+	}
+}

@@ -1,0 +1,45 @@
+package jobs
+
+// cellItem is one schedulable cell in the priority queue: a (job, cell
+// index) pair with its estimated cost and a submission sequence number
+// for deterministic FIFO tie-breaking among equal-cost cells.
+type cellItem struct {
+	job  *Job
+	cell int
+	cost float64
+	seq  int64
+}
+
+// cellHeap is a min-heap over (cost, seq): the scheduler always pops
+// the cheapest estimated cell first (shortest-job-first), and among
+// equal costs the earliest-submitted — so sampled probe cells overtake
+// exact confirmations while equal work stays first-come-first-served.
+// It implements container/heap.Interface.
+type cellHeap []cellItem
+
+// Len reports the number of queued cells (including stale entries for
+// cancelled jobs, reaped lazily on pop).
+func (h cellHeap) Len() int { return len(h) }
+
+// Less orders by estimated cost, then submission order.
+func (h cellHeap) Less(i, j int) bool {
+	if h[i].cost != h[j].cost {
+		return h[i].cost < h[j].cost
+	}
+	return h[i].seq < h[j].seq
+}
+
+// Swap exchanges two entries.
+func (h cellHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// Push appends x (heap.Interface contract).
+func (h *cellHeap) Push(x any) { *h = append(*h, x.(cellItem)) }
+
+// Pop removes and returns the last entry (heap.Interface contract).
+func (h *cellHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
