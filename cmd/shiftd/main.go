@@ -21,6 +21,7 @@
 //	DELETE /v1/jobs/{id}        cancel: queued cells dropped, running cells finish
 //	GET    /v1/figures/{n}      render an experiment by name ("7", "fig7", "tableI", ...)
 //	GET    /v1/healthz          liveness probe
+//	GET    /v1/readyz           readiness probe: 503 + reasons while degraded
 //	GET    /v1/stats            engine, store, queue, and admission counters (JSON)
 //	GET    /v1/metrics          the same counters in Prometheus text format
 //
@@ -36,6 +37,14 @@
 // cells execute on the same engine as synchronous requests, so a
 // drained job's results are bit-identical to /v1/grid for the same
 // cells.
+//
+// The service degrades instead of failing: disk-store corruption is
+// quarantined and self-heals on the next store, IO failures retry with
+// backoff behind a circuit breaker that falls back to memory-only
+// operation, simulation panics cost one cell rather than the process,
+// -cell-timeout arms a watchdog that frees worker slots wedged by a
+// stuck cell, and -job-retries re-enqueues job cells that failed
+// transiently. /v1/readyz reports every active degradation.
 //
 // Shutdown is graceful: on SIGINT/SIGTERM the listener closes and
 // in-flight requests get -grace to finish. A request abandoned by its
@@ -70,6 +79,8 @@ func main() {
 		jobBurst   = flag.Float64("job-burst", 64, "admission bucket capacity per client; jobs with more cells are never admitted")
 		jobQueue   = flag.Int("job-queue", 1024, "bound on queued (not yet running) job cells across all jobs")
 		jobWorkers = flag.Int("job-workers", 0, "job scheduler goroutines (0 = GOMAXPROCS); the engine still bounds simulations")
+		jobRetries = flag.Int("job-retries", 2, "extra attempts for job cells that fail transiently (watchdog timeouts); 0 disables")
+		cellTmo    = flag.Duration("cell-timeout", 0, "per-cell watchdog: fail cells running longer than this with a timeout error (0 = off)")
 		maxBody    = flag.Int64("max-body", 1<<20, "request-body size limit in bytes (413 beyond it)")
 	)
 	flag.Parse()
@@ -94,12 +105,15 @@ func main() {
 		storeDsc = "in-memory"
 	}
 	engine := shift.NewEngine(*parallel, rs)
+	engine.SetCellTimeout(*cellTmo)
 	jm := jobs.New(jobs.Config{
-		Workers:  *jobWorkers,
-		MaxQueue: *jobQueue,
-		Rate:     *jobRate,
-		Burst:    *jobBurst,
-		Run:      engine.RunOne,
+		Workers:   *jobWorkers,
+		MaxQueue:  *jobQueue,
+		Rate:      *jobRate,
+		Burst:     *jobBurst,
+		Run:       engine.RunOne,
+		Retries:   *jobRetries,
+		Transient: shift.IsTransient,
 	})
 	defer jm.Close()
 	srv := newServer(engine, rs, base, jm, *maxBody)

@@ -17,6 +17,7 @@ import (
 
 	"shift"
 	"shift/internal/jobs"
+	"shift/internal/store"
 )
 
 // server wires the HTTP API to one shared engine and result store. All
@@ -56,6 +57,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -750,6 +752,70 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// storeHealth reports the result store's failure-domain health when the
+// store exposes it (TieredStore and DiskStore do; the in-memory cache
+// has no failure domain and reports nothing).
+func (s *server) storeHealth() (shift.StoreHealth, bool) {
+	if hr, ok := s.store.(shift.HealthReporter); ok {
+		return hr.Health(), true
+	}
+	return shift.StoreHealth{}, false
+}
+
+// readyzResponse is the GET /v1/readyz reply.
+type readyzResponse struct {
+	// Status is "ready" (200) or "degraded" (503).
+	Status string `json:"status"`
+	// Reasons lists each active degradation, one human-readable line
+	// per condition (degraded only).
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// degradedReasons evaluates the readiness conditions: the store's
+// circuit breaker not closed (persistence is being bypassed),
+// quarantined corrupt blobs on disk (operator attention needed), and a
+// saturated worker pool with job cells still queued (new work will
+// wait). Pure — handleReadyz feeds it live snapshots, tests feed it
+// fixtures.
+func degradedReasons(es shift.EngineStats, js jobs.Stats, health shift.StoreHealth, hasHealth bool) []string {
+	var reasons []string
+	if hasHealth {
+		switch health.BreakerState {
+		case store.BreakerOpen:
+			reasons = append(reasons, fmt.Sprintf(
+				"store circuit breaker open (%d trips): disk persistence suspended, serving memory-only", health.BreakerTrips))
+		case store.BreakerHalfOpen:
+			reasons = append(reasons, fmt.Sprintf(
+				"store circuit breaker half-open (%d trips): probing disk recovery", health.BreakerTrips))
+		}
+		if health.Quarantined > 0 {
+			reasons = append(reasons, fmt.Sprintf(
+				"%d corrupt result blobs quarantined: inspect the store's quarantine/ directory", health.Quarantined))
+		}
+	}
+	if es.Capacity > 0 && es.Inflight >= es.Capacity && js.QueueDepth > 0 {
+		reasons = append(reasons, fmt.Sprintf(
+			"worker pool saturated: %d/%d slots busy, %d job cells queued", es.Inflight, es.Capacity, js.QueueDepth))
+	}
+	return reasons
+}
+
+// handleReadyz serves GET /v1/readyz: 200 "ready" when the service is
+// operating at full fidelity, 503 "degraded" with explicit reasons when
+// it is still serving but impaired — the store breaker is open (results
+// are not being persisted), corrupt blobs sit in quarantine, or the
+// worker pool is saturated with queued work. Load balancers can stop
+// routing to a degraded replica while /v1/healthz stays green.
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	health, hasHealth := s.storeHealth()
+	reasons := degradedReasons(s.engine.Stats(), s.jobs.Stats(), health, hasHealth)
+	if len(reasons) == 0 {
+		writeJSON(w, http.StatusOK, readyzResponse{Status: "ready"})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, readyzResponse{Status: "degraded", Reasons: reasons})
+}
+
 // statsResponse is the GET /v1/stats reply.
 type statsResponse struct {
 	// UptimeSeconds is time since process start.
@@ -776,6 +842,25 @@ type statsResponse struct {
 	// SampledCells counts cells simulated in sampled mode (interval
 	// sampling with functional warming) rather than exactly.
 	SampledCells int64 `json:"sampled_cells"`
+	// CellsPanicked counts simulation panics the engine recovered into
+	// per-cell errors.
+	CellsPanicked int64 `json:"cells_panicked"`
+	// CellsTimedOut counts cells the watchdog abandoned with a timeout
+	// error (-cell-timeout).
+	CellsTimedOut int64 `json:"cells_timed_out"`
+	// StoreErrors counts disk-store IO failures (after retries).
+	StoreErrors int64 `json:"store_errors"`
+	// StoreQuarantined counts corrupt blobs moved aside into the
+	// store's quarantine directory.
+	StoreQuarantined int64 `json:"store_quarantined"`
+	// StoreBreakerState is the store circuit breaker's state: "closed",
+	// "open", or "half-open" (empty for stores without a breaker).
+	StoreBreakerState string `json:"store_breaker_state,omitempty"`
+	// StoreBreakerTrips counts closed-to-open breaker transitions.
+	StoreBreakerTrips int64 `json:"store_breaker_trips"`
+	// StoreMemOnlyOps counts lookups/stores served memory-only while
+	// the breaker held the disk tier out of the path.
+	StoreMemOnlyOps int64 `json:"store_mem_only_ops"`
 	// QueueDepth is the number of job cells waiting to run.
 	QueueDepth int `json:"queue_depth"`
 	// JobsAdmitted/JobsRejected/JobsCancelled count async job
@@ -784,6 +869,9 @@ type statsResponse struct {
 	JobsAdmitted  int64 `json:"jobs_admitted"`
 	JobsRejected  int64 `json:"jobs_rejected"`
 	JobsCancelled int64 `json:"jobs_cancelled"`
+	// JobCellsRetried counts transiently-failed job cells re-enqueued
+	// by the retry policy (-job-retries).
+	JobCellsRetried int64 `json:"job_cells_retried"`
 	// JobLatencyP50/P90/P99 are submit-to-finish latency percentiles
 	// in seconds over recently completed jobs.
 	JobLatencyP50 float64 `json:"job_latency_p50_seconds"`
@@ -795,25 +883,34 @@ type statsResponse struct {
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	es := s.engine.Stats()
 	js := s.jobs.Stats()
+	health, _ := s.storeHealth()
 	writeJSON(w, http.StatusOK, statsResponse{
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Requests:      s.requests.Load(),
-		StoreHits:     es.StoreHits,
-		StoreMisses:   es.StoreMisses,
-		StoreCells:    es.StoreCells,
-		Simulated:     es.Simulated,
-		Deduped:       es.Deduped,
-		Inflight:      es.Inflight,
-		Batched:       es.Batched,
-		StreamsShared: es.StreamsShared,
-		SampledCells:  es.SampledCells,
-		QueueDepth:    js.QueueDepth,
-		JobsAdmitted:  js.Admitted,
-		JobsRejected:  js.Rejected,
-		JobsCancelled: js.Cancelled,
-		JobLatencyP50: js.LatencyP50,
-		JobLatencyP90: js.LatencyP90,
-		JobLatencyP99: js.LatencyP99,
+		UptimeSeconds:     time.Since(s.started).Seconds(),
+		Requests:          s.requests.Load(),
+		StoreHits:         es.StoreHits,
+		StoreMisses:       es.StoreMisses,
+		StoreCells:        es.StoreCells,
+		Simulated:         es.Simulated,
+		Deduped:           es.Deduped,
+		Inflight:          es.Inflight,
+		Batched:           es.Batched,
+		StreamsShared:     es.StreamsShared,
+		SampledCells:      es.SampledCells,
+		CellsPanicked:     es.Panicked,
+		CellsTimedOut:     es.TimedOut,
+		StoreErrors:       health.Errors,
+		StoreQuarantined:  health.Quarantined,
+		StoreBreakerState: health.BreakerState,
+		StoreBreakerTrips: health.BreakerTrips,
+		StoreMemOnlyOps:   health.MemOnlyOps,
+		QueueDepth:        js.QueueDepth,
+		JobsAdmitted:      js.Admitted,
+		JobsRejected:      js.Rejected,
+		JobsCancelled:     js.Cancelled,
+		JobCellsRetried:   js.Retried,
+		JobLatencyP50:     js.LatencyP50,
+		JobLatencyP90:     js.LatencyP90,
+		JobLatencyP99:     js.LatencyP99,
 	})
 }
 
@@ -849,8 +946,27 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	metric("shiftd_cells_batched_total", "counter", "Cells executed through the shared-stream batch path.", float64(es.Batched))
 	metric("shiftd_streams_shared_total", "counter", "Trace-stream generations avoided by batching.", float64(es.StreamsShared))
 	metric("shiftd_cells_sampled_total", "counter", "Cells simulated in sampled mode.", float64(es.SampledCells))
+	metric("shiftd_cells_panicked_total", "counter", "Simulation panics recovered into per-cell errors.", float64(es.Panicked))
+	metric("shiftd_cells_timed_out_total", "counter", "Cells abandoned by the watchdog with a timeout error.", float64(es.TimedOut))
+	metric("shiftd_job_cells_retried_total", "counter", "Transiently-failed job cells re-enqueued by the retry policy.", float64(js.Retried))
+	if health, ok := s.storeHealth(); ok {
+		metric("shift_store_errors_total", "counter", "Disk-store IO failures after retries.", float64(health.Errors))
+		metric("shiftd_store_quarantined", "gauge", "Corrupt blobs moved into the quarantine directory.", float64(health.Quarantined))
+		metric("shiftd_store_breaker_open", "gauge", "1 while the store circuit breaker is open, 0 otherwise.",
+			boolGauge(health.BreakerState == store.BreakerOpen))
+		metric("shiftd_store_breaker_trips_total", "counter", "Closed-to-open store breaker transitions.", float64(health.BreakerTrips))
+		metric("shiftd_store_mem_only_total", "counter", "Store operations served memory-only while the breaker was open.", float64(health.MemOnlyOps))
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, b.String())
+}
+
+// boolGauge renders a condition as a 0/1 Prometheus gauge value.
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // await runs fn on its own goroutine and waits for its result or for

@@ -1,0 +1,161 @@
+package shift
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// This file is the engine's failure-containment layer: panics inside
+// cell or batch execution are recovered into typed per-cell errors
+// (PanicError), and an optional per-cell watchdog converts stuck cells
+// into typed timeouts (TimeoutError) instead of wedging a worker slot.
+// Both preserve RunAll's determinism contract — a failing cell yields
+// the error of the lowest-index failing cell, and every other cell of
+// the grid still completes.
+
+// PanicError is the typed per-cell error a recovered simulation panic
+// becomes: the panicking cell fails, the rest of the grid completes,
+// and the process survives. The simulator is deterministic, so a panic
+// reproduces on retry — PanicError is never transient.
+type PanicError struct {
+	// Value is the recovered panic value, stringified.
+	Value string
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error renders the panic value; the stack is carried for logs.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("simulation panicked: %s", e.Value)
+}
+
+// TimeoutError is the typed per-cell error the watchdog produces for a
+// cell (or batch) that exceeded the engine's cell timeout: the stuck
+// simulation is abandoned to finish in the background, its worker slot
+// is freed, and the cell fails with this error instead of wedging the
+// grid. Timeouts are transient (IsTransient): a cell stuck behind a
+// load spike can succeed on retry.
+type TimeoutError struct {
+	// Timeout is the budget the cell exceeded.
+	Timeout time.Duration
+	// Cells is the number of cells sharing the budget (1 for a single
+	// cell; a batch's budget scales with its size).
+	Cells int
+}
+
+// Error names the exceeded budget.
+func (e *TimeoutError) Error() string {
+	if e.Cells > 1 {
+		return fmt.Sprintf("simulation watchdog: batch of %d cells exceeded %s", e.Cells, e.Timeout)
+	}
+	return fmt.Sprintf("simulation watchdog: cell exceeded %s", e.Timeout)
+}
+
+// IsTransient reports whether a cell error is worth retrying: the
+// failure came from infrastructure pressure (a watchdog timeout) rather
+// than from the simulation itself (validation errors and panics are
+// deterministic — retrying reproduces them). shiftd's job scheduler
+// uses this to requeue transiently-failed job cells a bounded number
+// of times.
+func IsTransient(err error) bool {
+	var te *TimeoutError
+	return errors.As(err, &te)
+}
+
+// SetCellTimeout arms the per-cell watchdog: a cell taking longer than
+// d fails with a TimeoutError (a batch of K cells gets K*d). The
+// abandoned simulation finishes in the background — its goroutine is
+// not killable — and its eventual result still seeds the store, but
+// its worker slot is freed immediately, so one wedged cell cannot
+// starve the pool. 0 (the default) disables the watchdog; timeouts are
+// inherently racy, so deterministic sweeps should leave it off and
+// services should set it well above the slowest legitimate cell. Not
+// safe to call concurrently with RunAll.
+func (e *Engine) SetCellTimeout(d time.Duration) { e.cellTimeout = d }
+
+// guardCell runs one cell's simulation with panics recovered into
+// PanicError.
+func (e *Engine) guardCell(cfg Config) (r RunResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			e.panicked.Add(1)
+			err = &PanicError{Value: fmt.Sprint(p), Stack: debug.Stack()}
+		}
+	}()
+	if e.runCell != nil {
+		return e.runCell(cfg)
+	}
+	return Run(cfg)
+}
+
+// guardBatch runs one shared-stream batch with panics recovered into
+// PanicError (the engine then falls back to per-cell execution, which
+// isolates the panicking member).
+func (e *Engine) guardBatch(cfgs []Config) (rs []RunResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			e.panicked.Add(1)
+			err = &PanicError{Value: fmt.Sprint(p), Stack: debug.Stack()}
+		}
+	}()
+	if e.runBatch != nil {
+		return e.runBatch(cfgs)
+	}
+	return RunBatch(cfgs)
+}
+
+// execCell executes one cell under the containment layer: panic
+// recovery always, the watchdog when armed.
+func (e *Engine) execCell(cfg Config) (RunResult, error) {
+	if e.cellTimeout <= 0 {
+		return e.guardCell(cfg)
+	}
+	type outcome struct {
+		r   RunResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, err := e.guardCell(cfg)
+		ch <- outcome{r, err}
+	}()
+	t := time.NewTimer(e.cellTimeout)
+	defer t.Stop()
+	select {
+	case o := <-ch:
+		return o.r, o.err
+	case <-t.C:
+		e.timedOut.Add(1)
+		return RunResult{}, &TimeoutError{Timeout: e.cellTimeout, Cells: 1}
+	}
+}
+
+// execBatch executes one shared-stream batch under the containment
+// layer. The batch budget scales with its size: K cells legitimately
+// take K times one cell.
+func (e *Engine) execBatch(cfgs []Config) ([]RunResult, error) {
+	if e.cellTimeout <= 0 {
+		return e.guardBatch(cfgs)
+	}
+	type outcome struct {
+		rs  []RunResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		rs, err := e.guardBatch(cfgs)
+		ch <- outcome{rs, err}
+	}()
+	budget := e.cellTimeout * time.Duration(len(cfgs))
+	t := time.NewTimer(budget)
+	defer t.Stop()
+	select {
+	case o := <-ch:
+		return o.rs, o.err
+	case <-t.C:
+		e.timedOut.Add(1)
+		return nil, &TimeoutError{Timeout: budget, Cells: len(cfgs)}
+	}
+}

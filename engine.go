@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"shift/internal/exp"
 	"shift/internal/store"
@@ -92,6 +93,20 @@ type Engine struct {
 	// sampledCells counts cells simulated in sampled mode (interval
 	// sampling with functional warming) rather than exactly.
 	sampledCells atomic.Int64
+
+	// Containment (containment.go): panics inside cell/batch execution
+	// are recovered into typed PanicErrors, and when cellTimeout is
+	// armed (SetCellTimeout) a per-cell watchdog converts stuck cells
+	// into typed TimeoutErrors instead of wedging a worker slot.
+	cellTimeout time.Duration
+	panicked    atomic.Int64
+	timedOut    atomic.Int64
+
+	// runCell/runBatch are test seams for the chaos suite: when set
+	// (per engine, never globally) they replace Run/RunBatch so tests
+	// can inject panicking or wedged simulations.
+	runCell  func(Config) (RunResult, error)
+	runBatch func([]Config) ([]RunResult, error)
 }
 
 // NewEngine returns an engine with the given worker-pool bound
@@ -125,7 +140,7 @@ func (e *Engine) simulate(cfg Config) (RunResult, error) {
 	if cfg.Sampling.Enabled() {
 		e.sampledCells.Add(1)
 	}
-	return Run(cfg)
+	return e.execCell(cfg)
 }
 
 // engine builds the driver-facing engine from experiment options.
@@ -165,6 +180,18 @@ type EngineStats struct {
 	// and exact results are keyed separately, so the two populations
 	// never mix in the store.
 	SampledCells int64
+	// Panicked counts simulation panics recovered into typed per-cell
+	// errors (PanicError). A non-zero count is a simulator bug worth a
+	// look — but it cost one cell, not the process.
+	Panicked int64
+	// TimedOut counts cells (and batches) the watchdog abandoned with a
+	// TimeoutError after exceeding the cell timeout.
+	TimedOut int64
+	// Capacity is the worker-pool bound: the maximum number of
+	// simulations in flight at once. Inflight ≥ Capacity means the pool
+	// is saturated (shiftd's /v1/readyz reports it when work is also
+	// queued).
+	Capacity int
 }
 
 // Stats returns a snapshot of the engine's counters. Safe to call
@@ -177,6 +204,9 @@ func (e *Engine) Stats() EngineStats {
 		Batched:       e.batched.Load(),
 		StreamsShared: e.streamsShared.Load(),
 		SampledCells:  e.sampledCells.Load(),
+		Panicked:      e.panicked.Load(),
+		TimedOut:      e.timedOut.Load(),
+		Capacity:      cap(e.sem),
 	}
 	if e.store != nil {
 		s.StoreHits, s.StoreMisses = e.store.Stats()
@@ -351,7 +381,7 @@ func (e *Engine) runOwnedBatch(cells []Cell, keys []string, owned []int, ownedCa
 		for mi, j := range members {
 			cfgs[mi] = cells[owned[j]].Config
 		}
-		rs, err := RunBatch(cfgs)
+		rs, err := e.execBatch(cfgs)
 		if err == nil {
 			e.simulated.Add(int64(len(members)))
 			e.batched.Add(int64(len(members)))
@@ -379,7 +409,7 @@ func (e *Engine) runOwnedBatch(cells []Cell, keys []string, owned []int, ownedCa
 		if c.Config.Sampling.Enabled() {
 			e.sampledCells.Add(1)
 		}
-		r, err := Run(c.Config)
+		r, err := e.execCell(c.Config)
 		if err != nil {
 			err = fmt.Errorf("cell %s: %w", c.Label, err)
 			errs[j] = err

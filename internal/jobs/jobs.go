@@ -114,6 +114,7 @@ type Job struct {
 	state     State
 	cancelled bool
 	cellState []cellState
+	attempts  []int // extra attempts consumed per cell (retry policy)
 	results   []shift.RunResult
 	cellErrs  []string
 	completed int
@@ -328,6 +329,16 @@ type Config struct {
 	// Run executes one cell (required). shiftd passes Engine.RunOne so
 	// job cells share the engine with synchronous requests.
 	Run func(shift.Config) (shift.RunResult, error)
+	// Retries is the number of extra attempts granted to a cell whose
+	// run fails with an error Transient classifies as retryable: the
+	// cell is re-enqueued (at its original cost priority) instead of
+	// failing the job. 0 disables retry.
+	Retries int
+	// Transient classifies a cell error as retryable (shiftd passes
+	// shift.IsTransient, so watchdog timeouts retry but deterministic
+	// failures — validation errors, panics — fail immediately). nil
+	// disables retry.
+	Transient func(error) bool
 	// Now supplies the clock (nil = time.Now; tests inject a fake).
 	Now func() time.Time
 }
@@ -350,6 +361,7 @@ type Manager struct {
 	admitted  int64
 	rejected  int64
 	cancelled int64
+	retried   int64
 
 	// Completed-job latencies, a bounded ring feeding the percentile
 	// stats; count/sum cover every completed job regardless of ring
@@ -434,6 +446,7 @@ func (m *Manager) Submit(cells []shift.Cell) (*Job, error) {
 		created:   now,
 		state:     StateQueued,
 		cellState: make([]cellState, len(cells)),
+		attempts:  make([]int, len(cells)),
 		results:   make([]shift.RunResult, len(cells)),
 		cellErrs:  make([]string, len(cells)),
 		changed:   make(chan struct{}),
@@ -516,12 +529,48 @@ func (m *Manager) worker() {
 		}
 		m.mu.Unlock()
 		r, err := m.cfg.Run(it.job.cells[it.cell].Config)
+		if err != nil && m.retryable(err) && m.requeue(it.job, it.cell) {
+			continue
+		}
 		if finished, lat := it.job.completeCell(it.cell, r, err, m.cfg.Now()); finished {
 			m.mu.Lock()
 			m.recordLatencyLocked(lat)
 			m.mu.Unlock()
 		}
 	}
+}
+
+// retryable reports whether the retry policy is on and classifies err
+// as transient.
+func (m *Manager) retryable(err error) bool {
+	return m.cfg.Retries > 0 && m.cfg.Transient != nil && m.cfg.Transient(err)
+}
+
+// requeue puts a transiently-failed running cell back on the queue,
+// consuming one of its retry attempts. It refuses — so the failure is
+// recorded normally — when the cell's attempts are exhausted, the job
+// was cancelled, or the manager is closed. Locks nest Manager.mu →
+// Job.mu, the same order the worker's pop-then-start path uses.
+func (m *Manager) requeue(j *Job, i int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	j.mu.Lock()
+	if j.cancelled || j.cellState[i] != cellRunning || j.attempts[i] >= m.cfg.Retries {
+		j.mu.Unlock()
+		return false
+	}
+	j.attempts[i]++
+	j.cellState[i] = cellQueued
+	j.running--
+	j.mu.Unlock()
+	m.seq++
+	heap.Push(&m.heap, cellItem{job: j, cell: i, cost: EstimateCost(j.cells[i].Config), seq: m.seq})
+	m.retried++
+	m.cond.Broadcast()
+	return true
 }
 
 // recordLatencyLocked adds one completed-job latency to the ring.
@@ -550,6 +599,9 @@ type Stats struct {
 	Rejected int64
 	// Cancelled counts jobs whose cancellation took effect.
 	Cancelled int64
+	// Retried counts cell re-enqueues by the transient-retry policy
+	// (one per consumed attempt, across all jobs).
+	Retried int64
 	// LatencyCount and LatencySum aggregate submit-to-finish latencies
 	// (seconds) over every job that reached a terminal state.
 	LatencyCount int64
@@ -569,6 +621,7 @@ func (m *Manager) Stats() Stats {
 		Admitted:     m.admitted,
 		Rejected:     m.rejected,
 		Cancelled:    m.cancelled,
+		Retried:      m.retried,
 		LatencyCount: m.latCount,
 		LatencySum:   m.latSum,
 	}

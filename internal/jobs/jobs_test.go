@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -398,5 +399,145 @@ func TestEstimateCostPrefersSampled(t *testing.T) {
 	}
 	if cs <= 0 || ce != 120000*4 {
 		t.Fatalf("unexpected costs: sampled %g exact %g", cs, ce)
+	}
+}
+
+// flakyRunner fails each cell a configured number of times before
+// succeeding, recording total calls per workload.
+type flakyRunner struct {
+	mu       sync.Mutex
+	failures map[string]int // remaining failures per workload
+	calls    map[string]int
+	err      error
+}
+
+func newFlakyRunner(err error, failures map[string]int) *flakyRunner {
+	return &flakyRunner{failures: failures, calls: make(map[string]int), err: err}
+}
+
+func (f *flakyRunner) run(cfg shift.Config) (shift.RunResult, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls[cfg.Workload]++
+	if f.failures[cfg.Workload] > 0 {
+		f.failures[cfg.Workload]--
+		return shift.RunResult{}, f.err
+	}
+	return shift.RunResult{MPKI: float64(cfg.MeasureRecords)}, nil
+}
+
+func (f *flakyRunner) callCount(workload string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[workload]
+}
+
+func TestTransientRetryRecoversCell(t *testing.T) {
+	transient := &shift.TimeoutError{Timeout: time.Millisecond, Cells: 1}
+	r := newFlakyRunner(transient, map[string]int{"flaky": 2})
+	m := New(Config{
+		Workers:   2,
+		Run:       r.run,
+		Retries:   3,
+		Transient: shift.IsTransient,
+	})
+	defer m.Close()
+
+	j, err := m.Submit([]shift.Cell{testCell("flaky", 10), testCell("steady", 20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	st := j.Snapshot()
+	if st.State != StateDone {
+		t.Fatalf("state = %v, want done (cell errs %v)", st.State, st.CellErrs)
+	}
+	if got := r.callCount("flaky"); got != 3 {
+		t.Fatalf("flaky cell ran %d times, want 3 (2 failures + 1 success)", got)
+	}
+	if got := m.Stats().Retried; got != 2 {
+		t.Fatalf("Stats.Retried = %d, want 2", got)
+	}
+}
+
+func TestTransientRetryExhaustsAttempts(t *testing.T) {
+	transient := &shift.TimeoutError{Timeout: time.Millisecond, Cells: 1}
+	r := newFlakyRunner(transient, map[string]int{"doomed": 100})
+	m := New(Config{
+		Workers:   1,
+		Run:       r.run,
+		Retries:   2,
+		Transient: shift.IsTransient,
+	})
+	defer m.Close()
+
+	j, err := m.Submit([]shift.Cell{testCell("doomed", 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	st := j.Snapshot()
+	if st.State != StateFailed {
+		t.Fatalf("state = %v, want failed", st.State)
+	}
+	if got := r.callCount("doomed"); got != 3 {
+		t.Fatalf("doomed cell ran %d times, want 3 (initial + 2 retries)", got)
+	}
+	if st.CellErrs[0] == "" {
+		t.Fatal("exhausted cell should record its error")
+	}
+	if got := m.Stats().Retried; got != 2 {
+		t.Fatalf("Stats.Retried = %d, want 2", got)
+	}
+}
+
+func TestDeterministicErrorsAreNotRetried(t *testing.T) {
+	r := newFlakyRunner(errors.New("bad config"), map[string]int{"broken": 100})
+	m := New(Config{
+		Workers:   1,
+		Run:       r.run,
+		Retries:   5,
+		Transient: shift.IsTransient,
+	})
+	defer m.Close()
+
+	j, err := m.Submit([]shift.Cell{testCell("broken", 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	if st := j.Snapshot(); st.State != StateFailed {
+		t.Fatalf("state = %v, want failed", st.State)
+	}
+	if got := r.callCount("broken"); got != 1 {
+		t.Fatalf("deterministic failure ran %d times, want 1", got)
+	}
+	if got := m.Stats().Retried; got != 0 {
+		t.Fatalf("Stats.Retried = %d, want 0", got)
+	}
+}
+
+func TestCancelledJobIsNotRequeued(t *testing.T) {
+	b := newBlockingRunner()
+	b.fail = map[string]bool{"w": true}
+	transient := func(error) bool { return true }
+	m := New(Config{Workers: 1, Run: b.run, Retries: 5, Transient: transient})
+	defer m.Close()
+
+	j, err := m.Submit([]shift.Cell{testCell("w", 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.awaitStart(t)
+	if _, ok := m.Cancel(j.ID()); !ok {
+		t.Fatal("cancel failed")
+	}
+	b.release <- struct{}{}
+	waitTerminal(t, j)
+	if st := j.Snapshot(); st.State != StateCancelled {
+		t.Fatalf("state = %v, want cancelled", st.State)
+	}
+	if got := m.Stats().Retried; got != 0 {
+		t.Fatalf("Stats.Retried = %d, want 0: cancelled cells must not requeue", got)
 	}
 }

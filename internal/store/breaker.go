@@ -1,0 +1,180 @@
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states.
+const (
+	// BreakerClosed is the healthy state: every operation is allowed.
+	BreakerClosed = "closed"
+	// BreakerOpen is the tripped state: operations are rejected until
+	// the cooldown elapses.
+	BreakerOpen = "open"
+	// BreakerHalfOpen is the probing state: exactly one operation is
+	// allowed through; its outcome decides between Closed and Open.
+	BreakerHalfOpen = "half-open"
+)
+
+// BreakerConfig parameterizes a Breaker. The zero value selects the
+// defaults noted on each field.
+type BreakerConfig struct {
+	// Window is the number of most-recent operations considered when
+	// deciding to trip (0 = 16).
+	Window int
+	// Threshold is the number of failed operations within the window
+	// that trips the breaker (0 = 8; with the default window, a
+	// sustained 50% error rate).
+	Threshold int
+	// Cooldown is how long the breaker stays open before allowing a
+	// half-open recovery probe (0 = 5s).
+	Cooldown time.Duration
+	// Now supplies the clock (nil = time.Now; tests inject a fake).
+	Now func() time.Time
+}
+
+// Breaker is a circuit breaker over an error-prone resource (in this
+// tree, the disk tier of a TieredStore). It watches a sliding window of
+// operation outcomes; when failures within the window reach the
+// threshold it trips open and Allow rejects every operation — the
+// caller degrades (memory-only) instead of paying a failing disk's
+// latency on every cell. After the cooldown, one half-open probe is let
+// through: success closes the breaker, failure re-opens it for another
+// cooldown. All methods are safe for concurrent use.
+type Breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	state    string
+	ring     []bool // outcome window; true = failure
+	pos      int
+	filled   int
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	trips    int64
+	rejected int64
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Window <= 0 {
+		cfg.Window = 16
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 8
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 5 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{cfg: cfg, state: BreakerClosed, ring: make([]bool, cfg.Window)}
+}
+
+// Allow reports whether the protected operation may run now. While
+// open it returns false (and counts the rejection) until the cooldown
+// elapses, then moves to half-open and admits exactly one probe; every
+// admitted operation's outcome must be reported via Record.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			b.rejected++
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			b.rejected++
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record reports the outcome of an operation Allow admitted. In the
+// closed state a failure may trip the breaker; in the half-open state
+// the probe's outcome closes (success) or re-opens (failure) it.
+func (b *Breaker) Record(failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if b.ring[b.pos] {
+			b.failures--
+		}
+		b.ring[b.pos] = failed
+		if failed {
+			b.failures++
+		}
+		b.pos = (b.pos + 1) % len(b.ring)
+		if b.filled < len(b.ring) {
+			b.filled++
+		}
+		if b.failures >= b.cfg.Threshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if failed {
+			b.trip()
+		} else {
+			b.state = BreakerClosed
+			b.reset()
+		}
+	case BreakerOpen:
+		// A late Record from an operation admitted before the trip;
+		// the window was already reset, nothing to account.
+	}
+}
+
+// trip opens the breaker and clears the window. Called with mu held.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.cfg.Now()
+	b.trips++
+	b.probing = false
+	b.reset()
+}
+
+// reset clears the outcome window. Called with mu held.
+func (b *Breaker) reset() {
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.pos, b.filled, b.failures = 0, 0, 0
+}
+
+// State returns the current state: BreakerClosed, BreakerOpen, or
+// BreakerHalfOpen. The open→half-open transition happens lazily in
+// Allow, so a cooled-down breaker still reports open until the next
+// operation probes it.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns the number of closed→open (and half-open→open)
+// transitions since creation.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Rejected returns the number of operations Allow refused while open.
+func (b *Breaker) Rejected() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rejected
+}

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Disk is a Blobs backed by a content-addressed directory: one file per
@@ -30,6 +31,10 @@ type Disk struct {
 	// observed until reopen — Len is a this-handle view.
 	putMu sync.Mutex
 	count int
+
+	// quarCount counts blobs under <dir>/quarantine: those already
+	// there at open plus this handle's Quarantine calls.
+	quarCount atomic.Int64
 }
 
 // tmpPrefix marks in-progress writes; such files are never visible
@@ -40,6 +45,13 @@ const tmpPrefix = "tmp-"
 // in practice blobs are JSON (see the root package's DiskStore), and the
 // extension keeps the directory greppable and editor-friendly.
 const blobExt = ".json"
+
+// quarantineDir is the subdirectory corrupt blobs are moved into by
+// Quarantine. Its contents are invisible to Get and Len — a quarantined
+// key reads as a miss and is recreated by the next Put — but preserved
+// byte-for-byte for inspection. Operators delete the directory once
+// the corruption is understood.
+const quarantineDir = "quarantine"
 
 // OpenDisk opens (creating if necessary) a disk blob store rooted at
 // dir, counting the blobs already present.
@@ -56,6 +68,7 @@ func OpenDisk(dir string) (*Disk, error) {
 		return nil, err
 	}
 	s.count = n
+	s.quarCount.Store(s.quarantineWalk())
 	return s, nil
 }
 
@@ -156,12 +169,16 @@ func (s *Disk) Len() (int, error) {
 }
 
 // walkCount counts published blobs on disk (skipping in-progress
-// tmp-* files); one walk at open seeds the cached count.
+// tmp-* files and the quarantine directory); one walk at open seeds the
+// cached count.
 func (s *Disk) walkCount() (int, error) {
 	n := 0
 	err := filepath.WalkDir(s.dir, func(_ string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
+		}
+		if d.IsDir() && d.Name() == quarantineDir {
+			return filepath.SkipDir
 		}
 		if !d.IsDir() && strings.HasSuffix(d.Name(), blobExt) && !strings.HasPrefix(d.Name(), tmpPrefix) {
 			n++
@@ -173,3 +190,51 @@ func (s *Disk) walkCount() (int, error) {
 	}
 	return n, nil
 }
+
+// quarantineWalk counts blobs already in quarantine (best effort: a
+// missing directory is simply zero).
+func (s *Disk) quarantineWalk() int64 {
+	entries, err := os.ReadDir(filepath.Join(s.dir, quarantineDir))
+	if err != nil {
+		return 0
+	}
+	var n int64
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), blobExt) {
+			n++
+		}
+	}
+	return n
+}
+
+// Quarantine moves the blob stored under key into <dir>/quarantine,
+// removing it from the visible keyspace while preserving its bytes for
+// inspection. The next Put of the same key recreates the blob (self-
+// heal). Quarantining an absent key is a no-op.
+func (s *Disk) Quarantine(key string) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.putMu.Lock()
+	defer s.putMu.Unlock()
+	err = os.Rename(p, filepath.Join(qdir, key+blobExt))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil // already gone: a concurrent quarantine or delete won
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.count--
+	s.quarCount.Add(1)
+	return nil
+}
+
+// QuarantineLen returns the number of quarantined blobs as seen by this
+// handle: those under <dir>/quarantine at open plus this handle's
+// Quarantine calls.
+func (s *Disk) QuarantineLen() int64 { return s.quarCount.Load() }

@@ -6,8 +6,9 @@ import "sync"
 // map. It is safe for concurrent use; a nil *Mem is not valid (use
 // NewMem).
 type Mem struct {
-	mu sync.RWMutex
-	m  map[string][]byte
+	mu   sync.RWMutex
+	m    map[string][]byte
+	quar map[string][]byte
 }
 
 // NewMem returns an empty in-memory blob store.
@@ -43,4 +44,29 @@ func (s *Mem) Len() (int, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.m), nil
+}
+
+// Quarantine moves the blob under key into a shadow map, mirroring
+// Disk.Quarantine for the in-memory store chaos tests drive: the key
+// reads as a miss afterwards and the next Put recreates it.
+func (s *Mem) Quarantine(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[key]
+	if !ok {
+		return nil
+	}
+	if s.quar == nil {
+		s.quar = make(map[string][]byte)
+	}
+	s.quar[key] = b
+	delete(s.m, key)
+	return nil
+}
+
+// QuarantineLen returns the number of quarantined blobs.
+func (s *Mem) QuarantineLen() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return int64(len(s.quar))
 }

@@ -2,6 +2,8 @@ package shift
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"sync/atomic"
 
 	"shift/internal/store"
@@ -11,8 +13,9 @@ import (
 // experiment engine: the ResultStore interface and its two persistent
 // backends, DiskStore (one JSON blob per Config.Key under a
 // content-addressed directory) and TieredStore (ResultCache over
-// DiskStore). The in-memory backend, ResultCache, predates the
-// interface and lives in storage.go.
+// DiskStore, with a circuit breaker that degrades to memory-only when
+// the disk tier is failing). The in-memory backend, ResultCache,
+// predates the interface and lives in storage.go.
 
 // ResultStore persists simulation results content-addressed by
 // Config.Key. The engine treats a store strictly as a memo table:
@@ -22,11 +25,14 @@ import (
 //
 // Implementations must be safe for concurrent use by the engine's
 // workers, and must degrade softly: a backend failure (unreadable file,
-// full disk) is reported as a miss or a dropped write, never an
-// experiment error. Three backends are provided: ResultCache (memory,
-// dies with the process), DiskStore (survives restarts, shareable
-// between processes), and TieredStore (memory speed over disk
-// durability — the default for anything long-running).
+// corrupt blob, full disk) is reported as a miss or a dropped write,
+// never an experiment error — but never silently: failures are counted
+// (Errors), corrupt blobs are quarantined for inspection (Quarantined),
+// and a failing disk tier trips a circuit breaker (StoreHealth) rather
+// than being paid for on every cell. Three backends are provided:
+// ResultCache (memory, dies with the process), DiskStore (survives
+// restarts, shareable between processes), and TieredStore (memory speed
+// over disk durability — the default for anything long-running).
 type ResultStore interface {
 	// Lookup returns the stored result for key, if any.
 	Lookup(key string) (RunResult, bool)
@@ -38,46 +44,118 @@ type ResultStore interface {
 	Stats() (hits, misses int64)
 }
 
+// StoreHealth is a point-in-time snapshot of a persistent store's
+// failure-handling state, consumed by shiftd's /v1/readyz, /v1/stats,
+// and /v1/metrics. Stores without a failing-backend concept (the
+// in-memory ResultCache) simply don't implement Health.
+type StoreHealth struct {
+	// Errors counts absorbed backend failures (IO, corruption, decode)
+	// since creation. A healthy store reports zero; a growing count
+	// means results are being recomputed instead of served.
+	Errors int64
+	// Quarantined counts corrupt blobs moved aside into the store's
+	// quarantine directory — each was detected once, preserved for
+	// inspection, and its key self-heals on the next write. Non-zero
+	// means the directory deserves a look before being deleted.
+	Quarantined int64
+	// BreakerState is the disk-tier circuit breaker state ("closed",
+	// "open", "half-open"), or empty for stores without a breaker.
+	BreakerState string
+	// BreakerTrips counts transitions into the open state.
+	BreakerTrips int64
+	// MemOnlyOps counts operations absorbed by the memory tier while
+	// the breaker was open (lookups served as misses, writes not
+	// persisted).
+	MemOnlyOps int64
+}
+
+// HealthReporter is the optional ResultStore extension for stores that
+// track failure-handling state; shiftd feeds it into /v1/readyz and
+// /v1/metrics.
+type HealthReporter interface {
+	// Health returns the store's failure-handling snapshot.
+	Health() StoreHealth
+}
+
 // DiskStore is the disk-backed ResultStore: one JSON-encoded RunResult
 // per Config.Key under a content-addressed directory
 // (<dir>/<key[:2]>/<key>.json). Writes are atomic (temp file + rename),
 // so any number of processes may share one directory — concurrent
 // writers of the same cell write identical bytes, and readers never
 // observe a torn blob; a crash mid-write leaves only an invisible
-// temporary file. JSON keeps blobs greppable and editor-friendly, and
-// round-trips every RunResult field exactly (encoding/json emits the
-// shortest float64 representation that parses back to the same bits).
+// temporary file.
+//
+// Every blob is written with a CRC-32C integrity footer and verified on
+// read; a blob that fails verification — or whose payload no longer
+// decodes — is moved to <dir>/quarantine/ (preserved for inspection,
+// counted by Quarantined) and the key self-heals on the next Store.
+// Blobs written before integrity checking are read unverified, so
+// existing directories stay valid. Transient IO errors are retried
+// with jittered backoff before being absorbed; full-disk and
+// permission errors fail fast. JSON keeps blobs greppable and
+// editor-friendly, and round-trips every RunResult field exactly
+// (encoding/json emits the shortest float64 representation that parses
+// back to the same bits).
 //
 // A nil *DiskStore is a valid no-op store. IO and decode failures are
 // absorbed as misses or dropped writes and counted by Errors.
 type DiskStore struct {
-	blobs                *store.Disk
+	blobs                *store.Integrity
+	disk                 *store.Disk // base layer; nil in fault-injected test stacks
 	hits, misses, errors atomic.Int64
+	lastLen              atomic.Int64
 }
 
 // NewDiskStore opens (creating if necessary) a disk store rooted at
 // dir.
 func NewDiskStore(dir string) (*DiskStore, error) {
-	blobs, err := store.OpenDisk(dir)
+	disk, err := store.OpenDisk(dir)
 	if err != nil {
 		return nil, err
 	}
-	return &DiskStore{blobs: blobs}, nil
+	return newDiskStoreStack(disk, disk), nil
+}
+
+// newDiskStoreStack assembles the resilience stack over base — retry
+// (jittered backoff for transient IO) below integrity (CRC footers,
+// quarantine on corruption) — and seeds the last-known blob count.
+// disk is the base *store.Disk when base is (or wraps) one, nil when
+// the chaos tests drive the stack over an in-memory store.
+func newDiskStoreStack(base store.Blobs, disk *store.Disk) *DiskStore {
+	s := &DiskStore{
+		blobs: store.WithIntegrity(store.WithRetry(base, store.RetryPolicy{})),
+		disk:  disk,
+	}
+	if n, err := s.blobs.Len(); err == nil {
+		s.lastLen.Store(int64(n))
+	}
+	return s
 }
 
 // Dir returns the store's root directory.
 func (s *DiskStore) Dir() string {
-	if s == nil {
+	if s == nil || s.disk == nil {
 		return ""
 	}
-	return s.blobs.Dir()
+	return s.disk.Dir()
 }
 
-// Lookup reads and decodes the result stored under key. An unreadable
-// or undecodable blob counts as a miss (and toward Errors).
+// Lookup reads, verifies, and decodes the result stored under key. An
+// unreadable blob counts as a miss (and toward Errors); a corrupt blob
+// additionally lands in quarantine and its key self-heals on the next
+// Store.
 func (s *DiskStore) Lookup(key string) (RunResult, bool) {
+	r, ok, _ := s.lookupErr(key)
+	return r, ok
+}
+
+// lookupErr is Lookup with the absorbed error exposed, so TieredStore
+// can feed its circuit breaker. Corruption is reported wrapped in
+// store.ErrCorrupt — a data problem the quarantine already handled, not
+// a disk-health signal.
+func (s *DiskStore) lookupErr(key string) (RunResult, bool, error) {
 	if s == nil {
-		return RunResult{}, false
+		return RunResult{}, false, nil
 	}
 	blob, ok, err := s.blobs.Get(key)
 	if err != nil {
@@ -85,23 +163,34 @@ func (s *DiskStore) Lookup(key string) (RunResult, bool) {
 	}
 	if err != nil || !ok {
 		s.misses.Add(1)
-		return RunResult{}, false
+		return RunResult{}, false, err
 	}
 	var r RunResult
-	if err := json.Unmarshal(blob, &r); err != nil {
+	if derr := json.Unmarshal(blob, &r); derr != nil {
+		// The bytes passed (or predate) the CRC but the payload no
+		// longer decodes — a torn or corrupt legacy blob. Quarantine it
+		// so the corruption is observed once and the key self-heals,
+		// instead of being re-missed forever.
 		s.errors.Add(1)
 		s.misses.Add(1)
-		return RunResult{}, false
+		s.blobs.Quarantine(key)
+		return RunResult{}, false, fmt.Errorf("%w: decoding result: %v", store.ErrCorrupt, derr)
 	}
 	s.hits.Add(1)
-	return r, true
+	return r, true, nil
 }
 
 // Store atomically writes the result under key. A write failure is
 // dropped (and counted by Errors): the store is a cache, not a ledger.
 func (s *DiskStore) Store(key string, r RunResult) {
+	s.storeErr(key, r)
+}
+
+// storeErr is Store with the absorbed error exposed, so TieredStore
+// can feed its circuit breaker.
+func (s *DiskStore) storeErr(key string, r RunResult) error {
 	if s == nil {
-		return
+		return nil
 	}
 	blob, err := json.Marshal(r)
 	if err == nil {
@@ -110,10 +199,14 @@ func (s *DiskStore) Store(key string, r RunResult) {
 	if err != nil {
 		s.errors.Add(1)
 	}
+	return err
 }
 
 // Len returns the number of cells this handle has observed: those on
-// disk at open plus its own writes (cheap; no directory walk).
+// disk at open plus its own writes (cheap; no directory walk). When the
+// backend cannot be counted right now, Len returns the last known
+// count — never a misleading zero that reads like an empty store — and
+// the failure lands in Errors.
 func (s *DiskStore) Len() int {
 	if s == nil {
 		return 0
@@ -121,8 +214,9 @@ func (s *DiskStore) Len() int {
 	n, err := s.blobs.Len()
 	if err != nil {
 		s.errors.Add(1)
-		return 0
+		return int(s.lastLen.Load())
 	}
+	s.lastLen.Store(int64(n))
 	return n
 }
 
@@ -134,9 +228,10 @@ func (s *DiskStore) Stats() (hits, misses int64) {
 	return s.hits.Load(), s.misses.Load()
 }
 
-// Errors returns the number of absorbed backend failures (IO or decode)
-// since creation. A healthy store reports zero; a growing count means
-// results are being silently recomputed — check the directory.
+// Errors returns the number of absorbed backend failures (IO, corrupt
+// blob, or decode) since creation. A healthy store reports zero; a
+// growing count means results are being silently recomputed — check
+// the directory and /v1/readyz.
 func (s *DiskStore) Errors() int64 {
 	if s == nil {
 		return 0
@@ -144,14 +239,48 @@ func (s *DiskStore) Errors() int64 {
 	return s.errors.Load()
 }
 
+// Quarantined returns the number of corrupt blobs held in
+// <dir>/quarantine: those present at open plus every corruption
+// detected by this handle. Each quarantined key reads as a miss and is
+// recreated by the next Store of the same cell; the quarantined bytes
+// stay on disk for inspection until an operator deletes them.
+func (s *DiskStore) Quarantined() int64 {
+	if s == nil {
+		return 0
+	}
+	if s.disk != nil {
+		return s.disk.QuarantineLen()
+	}
+	return s.blobs.Quarantined()
+}
+
+// Health returns the store's failure-handling snapshot. DiskStore has
+// no breaker of its own (that belongs to TieredStore, which has a
+// memory tier to degrade to), so the breaker fields are zero.
+func (s *DiskStore) Health() StoreHealth {
+	return StoreHealth{Errors: s.Errors(), Quarantined: s.Quarantined()}
+}
+
 // TieredStore layers an in-memory ResultCache over a DiskStore: Lookup
 // tries memory first and promotes disk hits into memory, Store writes
 // through to both. It serves hot cells at map speed while every result
 // survives process restarts — the backend behind `shiftsim -cache-dir`
-// and the shiftd service. A nil *TieredStore is a valid no-op store.
+// and the shiftd service.
+//
+// The disk tier sits behind a circuit breaker: when disk errors spike
+// (a failing device, a full filesystem), the breaker trips and the
+// store runs memory-only — hot cells keep serving and new results keep
+// landing in memory — instead of paying the failing disk's latency on
+// every cell. After a cooldown the breaker lets one half-open probe
+// through; a healthy disk closes it and write-through resumes. The
+// breaker state is visible in Health and shiftd's /v1/readyz.
+//
+// A nil *TieredStore is a valid no-op store.
 type TieredStore struct {
-	mem  *ResultCache
-	disk *DiskStore
+	mem     *ResultCache
+	disk    *DiskStore
+	breaker *store.Breaker
+	memOnly atomic.Int64
 }
 
 // NewTieredStore opens (creating if necessary) a tiered store whose
@@ -161,11 +290,32 @@ func NewTieredStore(dir string) (*TieredStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TieredStore{mem: NewResultCache(), disk: disk}, nil
+	return newTieredStore(disk), nil
+}
+
+// newTieredStore assembles a tiered store over an existing disk layer
+// with the default breaker policy (trip on 8 failures within the last
+// 16 disk operations, probe every 5s).
+func newTieredStore(disk *DiskStore) *TieredStore {
+	return &TieredStore{
+		mem:     NewResultCache(),
+		disk:    disk,
+		breaker: store.NewBreaker(store.BreakerConfig{}),
+	}
+}
+
+// diskFailure classifies an absorbed disk-tier error for the breaker:
+// corruption is a data problem the quarantine already isolated — the
+// disk itself is healthy — so only genuine IO failures count toward
+// tripping.
+func diskFailure(err error) bool {
+	return err != nil && !errors.Is(err, store.ErrCorrupt)
 }
 
 // Lookup returns the result for key from the memory tier, falling back
-// to disk (promoting a disk hit into memory for next time).
+// to disk (promoting a disk hit into memory for next time). While the
+// breaker is open the disk tier is skipped entirely: a memory miss is
+// a store miss, and the engine recomputes the cell.
 func (s *TieredStore) Lookup(key string) (RunResult, bool) {
 	if s == nil {
 		return RunResult{}, false
@@ -173,20 +323,33 @@ func (s *TieredStore) Lookup(key string) (RunResult, bool) {
 	if r, ok := s.mem.Lookup(key); ok {
 		return r, true
 	}
-	r, ok := s.disk.Lookup(key)
+	if !s.breaker.Allow() {
+		s.memOnly.Add(1)
+		return RunResult{}, false
+	}
+	r, ok, err := s.disk.lookupErr(key)
+	s.breaker.Record(diskFailure(err))
 	if ok {
 		s.mem.Store(key, r)
 	}
 	return r, ok
 }
 
-// Store writes the result through to both tiers.
+// Store writes the result through to both tiers. While the breaker is
+// open the write lands in memory only; the cells skipped this way are
+// recomputed (and re-persisted) after the disk recovers — the store is
+// a cache, so nothing is lost but work.
 func (s *TieredStore) Store(key string, r RunResult) {
 	if s == nil {
 		return
 	}
 	s.mem.Store(key, r)
-	s.disk.Store(key, r)
+	if !s.breaker.Allow() {
+		s.memOnly.Add(1)
+		return
+	}
+	err := s.disk.storeErr(key, r)
+	s.breaker.Record(diskFailure(err))
 }
 
 // Len returns the number of stored cells: the disk tier's count, which
@@ -222,4 +385,26 @@ func (s *TieredStore) Errors() int64 {
 		return 0
 	}
 	return s.disk.Errors()
+}
+
+// Quarantined returns the disk tier's quarantined-blob count (see
+// DiskStore.Quarantined).
+func (s *TieredStore) Quarantined() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.disk.Quarantined()
+}
+
+// Health returns the store's failure-handling snapshot, including the
+// disk-tier circuit breaker.
+func (s *TieredStore) Health() StoreHealth {
+	if s == nil {
+		return StoreHealth{}
+	}
+	h := s.disk.Health()
+	h.BreakerState = s.breaker.State()
+	h.BreakerTrips = s.breaker.Trips()
+	h.MemOnlyOps = s.memOnly.Load()
+	return h
 }
