@@ -18,6 +18,7 @@ import (
 	"shift"
 	"shift/internal/jobs"
 	"shift/internal/store"
+	"shift/internal/validate"
 )
 
 // server wires the HTTP API to one shared engine and result store. All
@@ -66,16 +67,11 @@ func (s *server) handler() http.Handler {
 	})
 }
 
-// workloadSet indexes shift.Workloads() so request validation can
-// reject unknown names with a 400 instead of letting them fail deep in
-// the engine as a 500.
-var workloadSet = func() map[string]bool {
-	set := make(map[string]bool)
-	for _, w := range shift.Workloads() {
-		set[w] = true
-	}
-	return set
-}()
+// knownWorkload reports whether a request's workload name is runnable:
+// a Table I catalog name or a spec ID registered earlier in this
+// process — so request validation rejects unknown names with a 400
+// instead of letting them fail deep in the engine as a 500.
+func knownWorkload(name string) bool { return shift.KnownWorkload(name) }
 
 // decodeBody decodes the request body as JSON into dst under the
 // server's body-size limit, writing the error response itself (400 on
@@ -116,8 +112,17 @@ type cellSpec struct {
 	// Label optionally names the cell in grid responses and error
 	// messages; it has no effect on execution.
 	Label string `json:"label,omitempty"`
-	// Workload is a Table I workload name (required; see shift.Workloads).
+	// Workload is a Table I workload name, or the ID of a spec compiled
+	// earlier in this process ("spec:..."). Exactly one of Workload and
+	// Spec is required.
 	Workload string `json:"workload"`
+	// Spec is an inline workload spec document (the JSON form accepted
+	// by shift.LoadSpec). The cell runs the compiled spec exactly like a
+	// catalog workload — same keys, memoization, and batching — and the
+	// response's workload field carries the spec's display name.
+	// Trace-replay specs are rejected over the wire (they name
+	// server-local files); submit those through shiftsim -spec.
+	Spec json.RawMessage `json:"spec,omitempty"`
 	// Design is a figure-legend design name: "Baseline", "NextLine",
 	// "PIF_2K", "PIF_32K", "ZeroLat-SHIFT", "SHIFT", "TIFS" (required).
 	Design string `json:"design"`
@@ -160,46 +165,38 @@ type cellSpec struct {
 
 // validate rejects field values the engine would only fail on deep
 // inside a simulation, naming the offending wire field — so clients
-// get a 400 up front instead of a misleading 500.
+// get a 400 up front instead of a misleading 500. The range rules are
+// the shared constraint table of internal/validate; this wrapper only
+// renders field names in the wire convention (quoted JSON names) and
+// adds the workload/design/spec resolution rules.
 func (c cellSpec) validate() error {
-	if c.Workload == "" {
-		return errors.New("missing \"workload\"")
+	if c.Workload == "" && len(c.Spec) == 0 {
+		return errors.New("missing \"workload\" (or inline \"spec\")")
 	}
-	if !workloadSet[c.Workload] {
+	if c.Workload != "" && len(c.Spec) > 0 {
+		return errors.New("\"workload\" and \"spec\" are mutually exclusive")
+	}
+	if c.Workload != "" && !knownWorkload(c.Workload) {
 		return fmt.Errorf("unknown \"workload\" %q (valid: %s)",
 			c.Workload, strings.Join(shift.Workloads(), ", "))
 	}
 	if c.Design == "" {
 		return errors.New("missing \"design\"")
 	}
-	if c.Cores != 0 && (c.Cores < 1 || c.Cores > 16) {
-		return fmt.Errorf("\"cores\" must be in [1,16], got %d", c.Cores)
+	cell := validate.Cell{
+		Cores:             c.Cores,
+		CoresZeroInherits: true,
+		HistEntries:       c.HistEntries,
+		ElimProb:          c.ElimProb,
+		WarmupRecords:     c.WarmupRecords,
+		MeasureRecords:    c.MeasureRecords,
+		SamplePeriod:      c.SamplePeriod,
+		SampleInterval:    c.SampleInterval,
+		SampleWarmup:      c.SampleWarmup,
+		SampleConfidence:  c.SampleConfidence,
 	}
-	if c.HistEntries < 0 {
-		return fmt.Errorf("\"hist_entries\" must be >= 0, got %d", c.HistEntries)
-	}
-	if c.ElimProb < 0 || c.ElimProb > 1 {
-		return fmt.Errorf("\"elim_prob\" must be in [0,1], got %g", c.ElimProb)
-	}
-	if c.WarmupRecords < 0 {
-		return fmt.Errorf("\"warmup_records\" must be >= 0, got %d", c.WarmupRecords)
-	}
-	if c.MeasureRecords < 0 {
-		return fmt.Errorf("\"measure_records\" must be >= 0, got %d", c.MeasureRecords)
-	}
-	if c.SamplePeriod < 0 {
-		return fmt.Errorf("\"sample_period\" must be >= 0, got %d", c.SamplePeriod)
-	}
-	if c.SampleInterval < 0 {
-		return fmt.Errorf("\"sample_interval\" must be >= 0, got %d", c.SampleInterval)
-	}
-	if c.SampleWarmup < 0 || c.SampleWarmup >= 1 {
-		return fmt.Errorf("\"sample_warmup\" must be in [0,1), got %g", c.SampleWarmup)
-	}
-	switch c.SampleConfidence {
-	case 0, 0.90, 0.95, 0.99:
-	default:
-		return fmt.Errorf("\"sample_confidence\" must be one of 0.90, 0.95, 0.99, got %g", c.SampleConfidence)
+	if fe := cell.Check(); fe != nil {
+		return fmt.Errorf("%q %s", fe.Field, fe.Msg)
 	}
 	return nil
 }
@@ -208,6 +205,18 @@ func (c cellSpec) validate() error {
 func (c cellSpec) config(base shift.Options) (shift.Config, error) {
 	if err := c.validate(); err != nil {
 		return shift.Config{}, err
+	}
+	workloadID := c.Workload
+	if len(c.Spec) > 0 {
+		// Compile and register the inline spec; the cell then runs its
+		// content-addressed ID like any workload name. Identical spec
+		// content registers once, so repeated submissions memoize and
+		// batch against each other.
+		id, err := shift.LoadSpecRestricted(c.Spec)
+		if err != nil {
+			return shift.Config{}, fmt.Errorf("\"spec\": %w", err)
+		}
+		workloadID = id
 	}
 	d, err := shift.ParseDesign(c.Design)
 	if err != nil {
@@ -220,7 +229,7 @@ func (c cellSpec) config(base shift.Options) (shift.Config, error) {
 		}
 	}
 	cfg := shift.Config{
-		Workload:        c.Workload,
+		Workload:        workloadID,
 		Design:          d,
 		CoreType:        ct,
 		Cores:           base.Cores,
@@ -250,29 +259,18 @@ func (c cellSpec) config(base shift.Options) (shift.Config, error) {
 		WarmupFraction:  c.SampleWarmup,
 		Confidence:      c.SampleConfidence,
 	}
-	if err := sampledWindowError(cfg.Sampling, cfg.MeasureRecords); err != nil {
-		return shift.Config{}, fmt.Errorf("\"sample_period\": %w", err)
+	// Cross-field rules that need the base-resolved values: a mix spec
+	// pins the core count, and the sampling chunk (period x interval)
+	// must fit at least twice in the resolved measurement window — the
+	// engine needs two measured intervals for a standard error, and
+	// catching these here turns mid-simulation failures into 400s.
+	if n := shift.WorkloadCores(workloadID); n != 0 && n != cfg.Cores {
+		return shift.Config{}, fmt.Errorf("\"cores\" workload is a %d-core mix, configured for %d cores", n, cfg.Cores)
+	}
+	if fe := validate.SampledWindow(cfg.Sampling.Period, cfg.Sampling.IntervalRecords, cfg.MeasureRecords); fe != nil {
+		return shift.Config{}, fmt.Errorf("%q %s", fe.Field, fe.Msg)
 	}
 	return cfg, nil
-}
-
-// sampledWindowError rejects a sampling policy whose chunk (period x
-// interval) does not fit at least twice in the measurement window —
-// the engine needs two measured intervals for a standard error, and
-// catching it here turns a mid-simulation failure into a 400.
-func sampledWindowError(sampling shift.Sampling, measure int64) error {
-	if !sampling.Enabled() {
-		return nil
-	}
-	interval := sampling.IntervalRecords
-	if interval == 0 {
-		interval = 500
-	}
-	if chunk := sampling.Period * interval; measure < 2*chunk {
-		return fmt.Errorf("measurement window %d fits fewer than two sampling chunks (chunk is %d records: period %d x interval %d)",
-			measure, chunk, sampling.Period, interval)
-	}
-	return nil
 }
 
 // runResponse is the POST /v1/run reply.
@@ -337,7 +335,7 @@ func (s *server) cellsFromSpecs(specs []cellSpec) ([]shift.Cell, error) {
 		}
 		label := spec.Label
 		if label == "" {
-			label = fmt.Sprintf("%s/%s", cfg.Workload, cfg.Design)
+			label = fmt.Sprintf("%s/%s", shift.WorkloadDisplayName(cfg.Workload), cfg.Design)
 		}
 		cells[i] = shift.Cell{Label: label, Config: cfg}
 	}
@@ -708,41 +706,51 @@ func (s *server) optionsFromQuery(q url.Values) (shift.Options, error) {
 	return o, nil
 }
 
+// queryName maps the shared validator's canonical (JSON wire) field
+// names to the figure endpoint's query-parameter spelling.
+var queryName = map[string]string{
+	"warmup_records":  "warmup",
+	"measure_records": "measure",
+	"sample_period":   "sample",
+	"sample_warmup":   "sample_warm",
+}
+
+// queryField renders a canonical field name as its query parameter.
+func queryField(field string) string {
+	if q, ok := queryName[field]; ok {
+		return q
+	}
+	return field
+}
+
 // validateOptions rejects query-override combinations the experiment
 // drivers would only fail on mid-run, naming the offending query
-// parameter.
+// parameter. The range rules are the shared constraint table of
+// internal/validate; only the field-name spelling is endpoint-local.
 func validateOptions(o shift.Options) error {
 	for _, w := range o.Workloads {
-		if !workloadSet[w] {
+		if !knownWorkload(w) {
 			return fmt.Errorf("workloads: unknown workload %q (valid: %s)",
 				w, strings.Join(shift.Workloads(), ", "))
 		}
+		if n := shift.WorkloadCores(w); n != 0 && n != o.Cores {
+			return fmt.Errorf("cores: workload %q is a %d-core mix, configured for %d cores", w, n, o.Cores)
+		}
 	}
-	if o.Cores < 1 || o.Cores > 16 {
-		return fmt.Errorf("cores: must be in [1,16], got %d", o.Cores)
+	cell := validate.Cell{
+		Cores:            o.Cores,
+		WarmupRecords:    o.WarmupRecords,
+		MeasureRecords:   o.MeasureRecords,
+		SamplePeriod:     o.Sampling.Period,
+		SampleInterval:   o.Sampling.IntervalRecords,
+		SampleWarmup:     o.Sampling.WarmupFraction,
+		SampleConfidence: o.Sampling.Confidence,
 	}
-	if o.WarmupRecords < 0 {
-		return fmt.Errorf("warmup: must be >= 0, got %d", o.WarmupRecords)
+	if fe := cell.Check(); fe != nil {
+		return fmt.Errorf("%s: %s", queryField(fe.Field), fe.Msg)
 	}
-	if o.MeasureRecords < 0 {
-		return fmt.Errorf("measure: must be >= 0, got %d", o.MeasureRecords)
-	}
-	if o.Sampling.Period < 0 {
-		return fmt.Errorf("sample: must be >= 0, got %d", o.Sampling.Period)
-	}
-	if o.Sampling.IntervalRecords < 0 {
-		return fmt.Errorf("sample_interval: must be >= 0, got %d", o.Sampling.IntervalRecords)
-	}
-	if o.Sampling.WarmupFraction < 0 || o.Sampling.WarmupFraction >= 1 {
-		return fmt.Errorf("sample_warm: must be in [0,1), got %g", o.Sampling.WarmupFraction)
-	}
-	switch o.Sampling.Confidence {
-	case 0, 0.90, 0.95, 0.99:
-	default:
-		return fmt.Errorf("sample_confidence: must be one of 0.90, 0.95, 0.99, got %g", o.Sampling.Confidence)
-	}
-	if err := sampledWindowError(o.Sampling, o.MeasureRecords); err != nil {
-		return fmt.Errorf("sample: %w", err)
+	if fe := validate.SampledWindow(o.Sampling.Period, o.Sampling.IntervalRecords, o.MeasureRecords); fe != nil {
+		return fmt.Errorf("%s: %s", queryField(fe.Field), fe.Msg)
 	}
 	return nil
 }

@@ -19,9 +19,10 @@ import (
 // link scanner), so the gate needs no external tooling.
 
 // docLintDirs is the API surface under the doc-comment contract: the
-// root package, the store subsystem it re-exports backends from, and
-// the async job subsystem behind shiftd's /v1/jobs API.
-var docLintDirs = []string{".", "internal/store", "internal/jobs"}
+// root package, the store subsystem it re-exports backends from, the
+// async job subsystem behind shiftd's /v1/jobs API, the workload spec
+// compiler behind LoadSpec, and the shared request validator.
+var docLintDirs = []string{".", "internal/store", "internal/jobs", "internal/spec", "internal/validate"}
 
 // TestExportedSymbolsDocumented fails for every exported top-level
 // symbol, method, struct field, or interface method without a doc

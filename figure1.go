@@ -33,7 +33,7 @@ func RunFigure1(o Options) (*Figure1, error) {
 	fig := &Figure1{
 		Fractions: []int{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100},
 		Speedup:   make(map[string][]float64),
-		Workloads: o.Workloads,
+		Workloads: displayNames(o.Workloads),
 	}
 	// Grid: per workload, the baseline followed by one cell per nonzero
 	// elimination fraction.
@@ -66,13 +66,13 @@ func RunFigure1(o Options) (*Figure1, error) {
 			row[i] = results[next].Throughput / base.Throughput
 			next++
 		}
-		fig.Speedup[w] = row
+		fig.Speedup[WorkloadDisplayName(w)] = row
 	}
 	fig.GeoMean = make([]float64, len(fig.Fractions))
 	for i := range fig.Fractions {
 		col := make([]float64, 0, len(o.Workloads))
 		for _, w := range o.Workloads {
-			col = append(col, fig.Speedup[w][i])
+			col = append(col, fig.Speedup[WorkloadDisplayName(w)][i])
 		}
 		fig.GeoMean[i] = stats.GeoMean(col)
 	}

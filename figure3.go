@@ -38,9 +38,9 @@ func RunFigure3(o Options) (*Figure3, error) {
 	if err != nil {
 		return nil, err
 	}
-	fig := &Figure3{Commonality: make(map[string]float64), Workloads: o.Workloads}
+	fig := &Figure3{Commonality: make(map[string]float64), Workloads: displayNames(o.Workloads)}
 	for i, w := range o.Workloads {
-		fig.Commonality[w] = results[i].AccessCoverage * 100
+		fig.Commonality[WorkloadDisplayName(w)] = results[i].AccessCoverage * 100
 	}
 	return fig, nil
 }

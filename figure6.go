@@ -65,7 +65,7 @@ func RunFigure6(o Options, sizes []int) (*Figure6, error) {
 		return nil, err
 	}
 
-	fig := &Figure6{Sizes: sizes, Workloads: o.Workloads}
+	fig := &Figure6{Sizes: sizes, Workloads: displayNames(o.Workloads)}
 	i := 0
 	for range sizes {
 		var shiftCov, pifCov []float64

@@ -56,14 +56,14 @@ func RunFigure7(o Options) (*Figure7, error) {
 		return nil, err
 	}
 
-	fig := &Figure7{Workloads: o.Workloads, Designs: designs}
+	fig := &Figure7{Workloads: displayNames(o.Workloads), Designs: designs}
 	stride := 1 + len(designs)
 	for wi, w := range o.Workloads {
 		bm := float64(results[wi*stride].Misses)
 		for di, d := range designs {
 			res := results[wi*stride+1+di]
 			row := CoverageRow{
-				Workload:      w,
+				Workload:      WorkloadDisplayName(w),
 				Design:        d.String(),
 				Uncovered:     float64(res.Misses) / bm * 100,
 				Overpredicted: float64(res.Discards) / bm * 100,

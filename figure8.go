@@ -47,17 +47,18 @@ func speedupFromResults(o Options, designs []Design, results []RunResult) *Figur
 	fig := &Figure8{
 		Speedup:   make(map[string]map[string]float64),
 		Geo:       make(map[string]float64),
-		Workloads: o.Workloads,
+		Workloads: displayNames(o.Workloads),
 		Designs:   designs,
 	}
 	logs := make(map[string][]float64)
 	stride := 1 + len(designs)
 	for wi, w := range o.Workloads {
 		base := results[wi*stride]
-		fig.Speedup[w] = make(map[string]float64)
+		name := WorkloadDisplayName(w)
+		fig.Speedup[name] = make(map[string]float64)
 		for di, d := range designs {
 			sp := results[wi*stride+1+di].Throughput / base.Throughput
-			fig.Speedup[w][d.String()] = sp
+			fig.Speedup[name][d.String()] = sp
 			logs[d.String()] = append(logs[d.String()], sp)
 		}
 	}

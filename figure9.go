@@ -50,12 +50,12 @@ func RunFigure9(o Options) (*Figure9, error) {
 	if err != nil {
 		return nil, err
 	}
-	fig := &Figure9{Workloads: o.Workloads}
+	fig := &Figure9{Workloads: displayNames(o.Workloads)}
 	for wi, w := range o.Workloads {
 		base, res := results[2*wi], results[2*wi+1]
 		denom := float64(base.Traffic.Demand())
 		fig.Rows = append(fig.Rows, TrafficRow{
-			Workload:    w,
+			Workload:    WorkloadDisplayName(w),
 			LogRead:     float64(res.Traffic.HistRead) / denom * 100,
 			LogWrite:    float64(res.Traffic.HistWrite) / denom * 100,
 			Discard:     float64(res.Traffic.Discard) / denom * 100,

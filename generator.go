@@ -8,7 +8,6 @@ import (
 	"shift/internal/exp"
 	"shift/internal/sim"
 	"shift/internal/stats"
-	"shift/internal/workload"
 )
 
 // GeneratorPoint is one choice of history generator core and the coverage
@@ -44,15 +43,11 @@ func RunGeneratorStudy(o Options) (*GeneratorStudy, error) {
 		return nil, err
 	}
 	wname := o.Workloads[0]
-	wp, err := workload.ByName(wname)
-	if err != nil {
-		return nil, err
-	}
 	base, err := o.runBaseline(wname)
 	if err != nil {
 		return nil, err
 	}
-	study := &GeneratorStudy{Workload: wname}
+	study := &GeneratorStudy{Workload: WorkloadDisplayName(wname)}
 	seen := map[int]bool{}
 	var gens []int
 	for _, g := range []int{0, o.Cores / 3, o.Cores / 2, o.Cores - 1} {
@@ -71,10 +66,14 @@ func RunGeneratorStudy(o Options) (*GeneratorStudy, error) {
 		sc.CoreType = o.CoreType.internal()
 		sc.Seed = o.Seed
 		sc.Prefetcher = sim.PrefetcherSpec{Kind: sim.KindSHIFT, SHIFT: shc}
-		res, err := sim.Run(sim.RunSpec{
-			Config: sc, Workload: wp,
+		rs := sim.RunSpec{
+			Config:        sc,
 			WarmupRecords: o.WarmupRecords, MeasureRecords: o.MeasureRecords,
-		})
+		}
+		if err := resolveWorkloadInto(wname, &rs); err != nil {
+			return GeneratorPoint{}, err
+		}
+		res, err := sim.Run(rs)
 		if err != nil {
 			return GeneratorPoint{}, err
 		}

@@ -59,19 +59,26 @@ func RunBatch(specs []RunSpec) ([]Result, error) {
 	for m := range readerSets {
 		readerSets[m] = make([]trace.Reader, cores)
 	}
-	fanOut := func(w *workload.Workload, core int) {
-		cs := w.NewCoreStream(core, k)
+	fanOut := func(cs *workload.CoreStream, core int) {
 		for m := 0; m < k; m++ {
 			readerSets[m][core] = cs.View(m)
 		}
 	}
-	if len(specs[0].Groups) == 0 {
+	if src := specs[0].Source; src != nil {
+		for c := 0; c < cores; c++ {
+			r, err := src.NewCoreReader(c)
+			if err != nil {
+				return nil, fmt.Errorf("sim: source reader for core %d: %w", c, err)
+			}
+			fanOut(workload.NewStream(r, k), c)
+		}
+	} else if len(specs[0].Groups) == 0 {
 		w, err := workload.Cached(specs[0].Workload)
 		if err != nil {
 			return nil, err
 		}
 		for c := 0; c < cores; c++ {
-			fanOut(w, c)
+			fanOut(w.NewCoreStream(c, k), c)
 		}
 	} else {
 		for gi, g := range specs[0].Groups {
@@ -83,7 +90,7 @@ func RunBatch(specs []RunSpec) ([]Result, error) {
 				if c < 0 || c >= cores {
 					return nil, fmt.Errorf("group %q core %d out of range", g.Name, c)
 				}
-				fanOut(w, c)
+				fanOut(w.NewCoreStream(c, k), c)
 			}
 		}
 		for c, r := range readerSets[0] {
@@ -321,8 +328,17 @@ func checkStreamCompatible(specs []RunSpec) error {
 		case !s.Sampling.scheduleEqual(ref.Sampling):
 			return fmt.Errorf("sim: batch spec %d: sampling policy %+v differs from spec 0's %+v",
 				i, s.Sampling, ref.Sampling)
+		case s.Source != ref.Source:
+			// Source is compared by interface identity: the engine hands
+			// every member of a batch the same registered source value, and
+			// two distinct sources cannot be assumed to generate the same
+			// stream even with equal parameters.
+			return fmt.Errorf("sim: batch spec %d: stream source differs from spec 0", i)
 		case len(s.Groups) != len(ref.Groups):
 			return fmt.Errorf("sim: batch spec %d: %d groups, spec 0 has %d", i, len(s.Groups), len(ref.Groups))
+		}
+		if ref.Source != nil {
+			continue
 		}
 		if len(ref.Groups) == 0 {
 			if s.Workload != ref.Workload {

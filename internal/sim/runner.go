@@ -22,6 +22,13 @@ type RunSpec struct {
 	// ignored and, for SHIFT, one shared history is created per group.
 	Groups         []core.Group
 	GroupWorkloads []workload.Params
+	// Source optionally supplies the per-core record streams directly
+	// (phase-sequenced workloads, trace replay — anything implementing
+	// workload.Source). When set, Workload is ignored and Groups must be
+	// empty. The source must be deterministic per core: batch members
+	// and standalone runs draw fresh readers from it and must observe
+	// identical records.
+	Source workload.Source
 	// WarmupRecords and MeasureRecords are per-core record counts.
 	WarmupRecords  int64
 	MeasureRecords int64
@@ -52,6 +59,12 @@ func (r RunSpec) Validate() error {
 		return fmt.Errorf("sim: MeasureRecords %d fits fewer than two sampling intervals (chunk is %d records: period %d x interval %d)",
 			r.MeasureRecords, p.chunkRounds(), p.Period, p.IntervalRecords)
 	}
+	if r.Source != nil {
+		if len(r.Groups) != 0 {
+			return fmt.Errorf("sim: Source cannot be combined with Groups")
+		}
+		return nil
+	}
 	if len(r.Groups) != len(r.GroupWorkloads) {
 		return fmt.Errorf("sim: %d groups but %d group workloads", len(r.Groups), len(r.GroupWorkloads))
 	}
@@ -75,7 +88,15 @@ func Run(spec RunSpec) (Result, error) {
 	cfg := spec.Config
 	readers := make([]trace.Reader, cfg.Cores)
 
-	if len(spec.Groups) == 0 {
+	if spec.Source != nil {
+		for i := range readers {
+			r, err := spec.Source.NewCoreReader(i)
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: source reader for core %d: %w", i, err)
+			}
+			readers[i] = r
+		}
+	} else if len(spec.Groups) == 0 {
 		w, err := workload.Cached(spec.Workload)
 		if err != nil {
 			return Result{}, err

@@ -1,0 +1,487 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"shift/internal/validate"
+)
+
+// This file is a small YAML-subset parser, written in-tree because the
+// module deliberately has no third-party dependencies. It covers the
+// fragment workload specs need — block mappings and sequences nested by
+// indentation, single-line flow collections ([a, b], {k: v}), double-
+// and single-quoted strings, numbers, booleans, null, and '#' comments —
+// and rejects everything else with a line-numbered *validate.FieldError
+// (field "yaml"). Anchors, aliases, tags, multi-document streams,
+// multi-line scalars, and tab indentation are out of scope.
+//
+// The parser produces the same map[string]any / []any / scalar shapes
+// encoding/json produces, so spec decoding funnels YAML and JSON inputs
+// through one strict JSON pass (see Parse in spec.go).
+
+// maxYAMLDepth bounds block and flow nesting so hostile inputs (fuzzing)
+// cannot drive the recursive parser into stack exhaustion.
+const maxYAMLDepth = 64
+
+// yline is one significant source line: 1-based number, indentation in
+// spaces, and content with comments stripped.
+type yline struct {
+	n      int
+	indent int
+	text   string
+}
+
+// yamlErr builds the parser's uniform error shape.
+func yamlErr(line int, format string, args ...any) *validate.FieldError {
+	return validate.Fieldf("yaml", "line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// parseYAML parses a YAML-subset document into JSON-shaped values. The
+// document must be a mapping at the top level (a workload spec).
+func parseYAML(data []byte) (map[string]any, *validate.FieldError) {
+	lines, err := splitLines(string(data))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, yamlErr(1, "empty document")
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.parseNode(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, yamlErr(l.n, "unexpected content %q after document", l.text)
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, yamlErr(lines[0].n, "top-level value must be a mapping")
+	}
+	return m, nil
+}
+
+// splitLines strips comments and blank lines and measures indentation.
+func splitLines(s string) ([]yline, *validate.FieldError) {
+	var out []yline
+	for i, raw := range strings.Split(s, "\n") {
+		line := strings.TrimSuffix(raw, "\r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return nil, yamlErr(i+1, "tab indentation is not allowed")
+		}
+		text := stripComment(line[indent:])
+		text = strings.TrimRight(text, " ")
+		if text == "" || text == "---" {
+			continue
+		}
+		out = append(out, yline{n: i + 1, indent: indent, text: text})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing '# ...' comment that is outside
+// quotes and either starts the text or follows whitespace.
+func stripComment(s string) string {
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '#':
+			if !inS && !inD && (i == 0 || s[i-1] == ' ') {
+				return strings.TrimRight(s[:i], " ")
+			}
+		}
+	}
+	return s
+}
+
+// yamlParser walks the significant lines recursively by indentation.
+type yamlParser struct {
+	lines []yline
+	pos   int
+}
+
+// parseNode parses the block node starting at the current line, which
+// must be indented by at least minIndent.
+func (p *yamlParser) parseNode(minIndent, depth int) (any, *validate.FieldError) {
+	if depth > maxYAMLDepth {
+		return nil, yamlErr(p.lines[p.pos].n, "nesting deeper than %d levels", maxYAMLDepth)
+	}
+	first := p.lines[p.pos]
+	if first.indent < minIndent {
+		return nil, yamlErr(first.n, "expected a nested block indented by at least %d spaces", minIndent)
+	}
+	block := first.indent
+	if isSeqItem(first.text) {
+		return p.parseSequence(block, depth)
+	}
+	if keyOf(first.text) != "" {
+		return p.parseMapping(block, depth)
+	}
+	// A bare scalar line (only valid as a rewritten sequence item).
+	p.pos++
+	return parseFlowValue(first.text, first.n)
+}
+
+// isSeqItem reports whether a line starts a block-sequence entry.
+func isSeqItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+// keyOf returns the raw key of a "key: value" line, or "" when the line
+// is not a mapping entry. The separating colon must be outside quotes
+// and followed by a space or end the line.
+func keyOf(text string) string {
+	inS, inD := false, false
+	for i := 0; i < len(text); i++ {
+		switch text[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case ':':
+			if inS || inD {
+				continue
+			}
+			if i+1 == len(text) || text[i+1] == ' ' {
+				if i == 0 {
+					return ""
+				}
+				return text[:i]
+			}
+		}
+	}
+	return ""
+}
+
+// parseSequence parses consecutive "- ..." lines at the block indent.
+func (p *yamlParser) parseSequence(block, depth int) (any, *validate.FieldError) {
+	out := []any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != block || !isSeqItem(l.text) {
+			if l.indent > block {
+				return nil, yamlErr(l.n, "unexpected indentation inside sequence")
+			}
+			break
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(l.text, "-"), " ")
+		if rest == "" {
+			// "-" alone: the item is the nested block on following lines.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= block {
+				out = append(out, nil)
+				continue
+			}
+			v, err := p.parseNode(block+1, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		// "- x": rewrite the line as the item's first line, indented past
+		// the dash, so scalars, inline mappings ("- key: v"), and their
+		// continuation lines all parse through the one node path.
+		p.lines[p.pos] = yline{n: l.n, indent: block + 2, text: rest}
+		v, err := p.parseNode(block+1, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseMapping parses consecutive "key: value" lines at the block indent.
+func (p *yamlParser) parseMapping(block, depth int) (any, *validate.FieldError) {
+	out := map[string]any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != block {
+			if l.indent > block {
+				return nil, yamlErr(l.n, "unexpected indentation")
+			}
+			break
+		}
+		rawKey := keyOf(l.text)
+		if rawKey == "" {
+			return nil, yamlErr(l.n, "expected \"key: value\", got %q", l.text)
+		}
+		key, err := unquoteKey(rawKey, l.n)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[key]; dup {
+			return nil, yamlErr(l.n, "duplicate key %q", key)
+		}
+		rest := strings.TrimLeft(l.text[len(rawKey)+1:], " ")
+		if rest == "" {
+			// Value is the nested block on following, deeper lines.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= block {
+				out[key] = nil
+				continue
+			}
+			v, err := p.parseNode(block+1, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = v
+			continue
+		}
+		v, err := parseFlowValue(rest, l.n)
+		if err != nil {
+			return nil, err
+		}
+		out[key] = v
+		p.pos++
+	}
+	return out, nil
+}
+
+// unquoteKey resolves a possibly-quoted mapping key.
+func unquoteKey(s string, line int) (string, *validate.FieldError) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", yamlErr(line, "empty mapping key")
+	}
+	if s[0] == '"' || s[0] == '\'' {
+		v, err := parseFlowValue(s, line)
+		if err != nil {
+			return "", err
+		}
+		str, ok := v.(string)
+		if !ok {
+			return "", yamlErr(line, "invalid quoted key %q", s)
+		}
+		return str, nil
+	}
+	return s, nil
+}
+
+// parseFlowValue parses a single-line value: a flow collection, a
+// quoted string, or a plain scalar.
+func parseFlowValue(s string, line int) (any, *validate.FieldError) {
+	fs := &flowScanner{s: s, line: line}
+	v, err := fs.value(0)
+	if err != nil {
+		return nil, err
+	}
+	fs.skipSpaces()
+	if fs.i != len(fs.s) {
+		return nil, yamlErr(line, "unexpected trailing content %q", fs.s[fs.i:])
+	}
+	return v, nil
+}
+
+// flowScanner is a recursive-descent scanner over one line's value.
+type flowScanner struct {
+	s    string
+	i    int
+	line int
+}
+
+func (f *flowScanner) skipSpaces() {
+	for f.i < len(f.s) && f.s[f.i] == ' ' {
+		f.i++
+	}
+}
+
+// value parses the next value: flow sequence, flow mapping, quoted
+// string, or plain scalar (terminated by the enclosing flow context).
+func (f *flowScanner) value(depth int) (any, *validate.FieldError) {
+	if depth > maxYAMLDepth {
+		return nil, yamlErr(f.line, "flow nesting deeper than %d levels", maxYAMLDepth)
+	}
+	f.skipSpaces()
+	if f.i >= len(f.s) {
+		return nil, yamlErr(f.line, "missing value")
+	}
+	switch f.s[f.i] {
+	case '[':
+		return f.flowSeq(depth)
+	case '{':
+		return f.flowMap(depth)
+	case '"':
+		return f.doubleQuoted()
+	case '\'':
+		return f.singleQuoted()
+	}
+	return f.plainScalar(depth > 0)
+}
+
+// flowSeq parses "[a, b, ...]".
+func (f *flowScanner) flowSeq(depth int) (any, *validate.FieldError) {
+	f.i++ // consume '['
+	out := []any{}
+	f.skipSpaces()
+	if f.i < len(f.s) && f.s[f.i] == ']' {
+		f.i++
+		return out, nil
+	}
+	for {
+		v, err := f.value(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		f.skipSpaces()
+		if f.i >= len(f.s) {
+			return nil, yamlErr(f.line, "unterminated flow sequence")
+		}
+		switch f.s[f.i] {
+		case ',':
+			f.i++
+		case ']':
+			f.i++
+			return out, nil
+		default:
+			return nil, yamlErr(f.line, "expected ',' or ']' in flow sequence, got %q", f.s[f.i:])
+		}
+	}
+}
+
+// flowMap parses "{k: v, ...}".
+func (f *flowScanner) flowMap(depth int) (any, *validate.FieldError) {
+	f.i++ // consume '{'
+	out := map[string]any{}
+	f.skipSpaces()
+	if f.i < len(f.s) && f.s[f.i] == '}' {
+		f.i++
+		return out, nil
+	}
+	for {
+		kv, err := f.value(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		key, ok := kv.(string)
+		if !ok {
+			key = fmt.Sprint(kv)
+		}
+		f.skipSpaces()
+		if f.i >= len(f.s) || f.s[f.i] != ':' {
+			return nil, yamlErr(f.line, "expected ':' after flow mapping key %q", key)
+		}
+		f.i++
+		v, err := f.value(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[key]; dup {
+			return nil, yamlErr(f.line, "duplicate key %q", key)
+		}
+		out[key] = v
+		f.skipSpaces()
+		if f.i >= len(f.s) {
+			return nil, yamlErr(f.line, "unterminated flow mapping")
+		}
+		switch f.s[f.i] {
+		case ',':
+			f.i++
+		case '}':
+			f.i++
+			return out, nil
+		default:
+			return nil, yamlErr(f.line, "expected ',' or '}' in flow mapping, got %q", f.s[f.i:])
+		}
+	}
+}
+
+// doubleQuoted parses a '"'-delimited string with JSON-style escapes.
+func (f *flowScanner) doubleQuoted() (any, *validate.FieldError) {
+	start := f.i
+	for j := f.i + 1; j < len(f.s); j++ {
+		switch f.s[j] {
+		case '\\':
+			j++
+		case '"':
+			v, err := strconv.Unquote(f.s[start : j+1])
+			if err != nil {
+				return nil, yamlErr(f.line, "invalid double-quoted string %s", f.s[start:j+1])
+			}
+			f.i = j + 1
+			return v, nil
+		}
+	}
+	return nil, yamlErr(f.line, "unterminated double-quoted string")
+}
+
+// singleQuoted parses a "'"-delimited string; a doubled quote escapes
+// a quote.
+func (f *flowScanner) singleQuoted() (any, *validate.FieldError) {
+	var b strings.Builder
+	j := f.i + 1
+	for j < len(f.s) {
+		if f.s[j] == '\'' {
+			if j+1 < len(f.s) && f.s[j+1] == '\'' {
+				b.WriteByte('\'')
+				j += 2
+				continue
+			}
+			f.i = j + 1
+			return b.String(), nil
+		}
+		b.WriteByte(f.s[j])
+		j++
+	}
+	return nil, yamlErr(f.line, "unterminated single-quoted string")
+}
+
+// plainScalar parses an unquoted scalar. Inside a flow collection it
+// ends at the first structural character; at top level it runs to the
+// end of the line.
+func (f *flowScanner) plainScalar(inFlow bool) (any, *validate.FieldError) {
+	j := f.i
+	for j < len(f.s) {
+		c := f.s[j]
+		if inFlow && (c == ',' || c == ']' || c == '}' || c == ':') {
+			break
+		}
+		j++
+	}
+	raw := strings.TrimSpace(f.s[f.i:j])
+	f.i = j
+	if raw == "" {
+		return nil, yamlErr(f.line, "missing value")
+	}
+	return scalarValue(raw), nil
+}
+
+// scalarValue resolves an unquoted scalar to its JSON-shaped type.
+func scalarValue(s string) any {
+	switch s {
+	case "true", "True":
+		return true
+	case "false", "False":
+		return false
+	case "null", "~", "Null":
+		return nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n
+	}
+	if x, err := strconv.ParseFloat(s, 64); err == nil {
+		return x
+	}
+	return s
+}

@@ -3,6 +3,7 @@ package shift
 import (
 	"fmt"
 
+	"shift/internal/validate"
 	"shift/internal/workload"
 )
 
@@ -91,19 +92,33 @@ func (o Options) normalize() (Options, error) {
 	if o.MeasureRecords == 0 {
 		o.MeasureRecords = 60000
 	}
+	for _, w := range o.Workloads {
+		if !KnownWorkload(w) {
+			if _, err := workload.ByName(w); err != nil {
+				return o, err
+			}
+		}
+		if n := WorkloadCores(w); n != 0 && n != o.Cores {
+			return o, fmt.Errorf("shift: workload %q is a %d-core mix, Options.Cores is %d", w, n, o.Cores)
+		}
+	}
 	if len(o.Workloads) == 0 {
 		o.Workloads = Workloads()
 	}
-	for _, w := range o.Workloads {
-		if _, err := workload.ByName(w); err != nil {
-			return o, err
-		}
+	cell := validate.Cell{
+		Cores:            o.Cores,
+		WarmupRecords:    o.WarmupRecords,
+		MeasureRecords:   o.MeasureRecords,
+		SamplePeriod:     o.Sampling.Period,
+		SampleInterval:   o.Sampling.IntervalRecords,
+		SampleWarmup:     o.Sampling.WarmupFraction,
+		SampleConfidence: o.Sampling.Confidence,
 	}
-	if o.Cores < 1 || o.Cores > 16 {
-		return o, fmt.Errorf("shift: Cores %d out of [1,16]", o.Cores)
+	if err := cell.Check(); err != nil {
+		return o, fmt.Errorf("shift: %w", err)
 	}
-	if err := o.Sampling.internal().Validate(); err != nil {
-		return o, err
+	if err := validate.SampledWindow(o.Sampling.Period, o.Sampling.IntervalRecords, o.MeasureRecords); err != nil {
+		return o, fmt.Errorf("shift: %w", err)
 	}
 	return o, nil
 }

@@ -65,7 +65,7 @@ func RunPowerStudy(o Options) (*PowerStudy, error) {
 			Cycles:          res.MeanCoreCycles,
 		})
 		row := PowerRow{
-			Workload:         w,
+			Workload:         WorkloadDisplayName(w),
 			ExtraMW:          mw,
 			PerLeanIOCorePct: mw / float64(o.Cores) / leanIOCoreMW * 100,
 		}

@@ -9,7 +9,6 @@ import (
 	"shift/internal/history"
 	"shift/internal/sim"
 	"shift/internal/stats"
-	"shift/internal/workload"
 )
 
 // SensitivityPoint is one configuration of a design-parameter sweep.
@@ -44,10 +43,6 @@ func RunSensitivity(o Options) (*Sensitivity, error) {
 		return nil, err
 	}
 	wname := o.Workloads[0]
-	wp, err := workload.ByName(wname)
-	if err != nil {
-		return nil, err
-	}
 	base, err := o.runBaseline(wname)
 	if err != nil {
 		return nil, err
@@ -61,10 +56,14 @@ func RunSensitivity(o Options) (*Sensitivity, error) {
 		sc.CoreType = o.CoreType.internal()
 		sc.Seed = o.Seed
 		sc.Prefetcher = sim.PrefetcherSpec{Kind: sim.KindSHIFT, SHIFT: shc}
-		res, err := sim.Run(sim.RunSpec{
-			Config: sc, Workload: wp,
+		rs := sim.RunSpec{
+			Config:        sc,
 			WarmupRecords: o.WarmupRecords, MeasureRecords: o.MeasureRecords,
-		})
+		}
+		if err := resolveWorkloadInto(wname, &rs); err != nil {
+			return SensitivityPoint{}, err
+		}
+		res, err := sim.Run(rs)
 		if err != nil {
 			return SensitivityPoint{}, err
 		}
@@ -102,7 +101,7 @@ func RunSensitivity(o Options) (*Sensitivity, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sensitivity{Workload: wname, Points: results}, nil
+	return &Sensitivity{Workload: WorkloadDisplayName(wname), Points: results}, nil
 }
 
 // Best returns the best value found for a parameter.

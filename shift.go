@@ -292,12 +292,11 @@ func pifConfig(d Design, histEntries int) pif.Config {
 	return pc
 }
 
-// spec translates the public Config into an internal sim.RunSpec.
+// spec translates the public Config into an internal sim.RunSpec. The
+// Workload field resolves either to a Table I catalog workload or — for
+// "spec:" IDs — to a registered compiled spec, whose single/mix/source
+// form maps onto the run spec's Workload/Groups/Source.
 func (c Config) spec() (sim.RunSpec, error) {
-	wp, err := workload.ByName(c.Workload)
-	if err != nil {
-		return sim.RunSpec{}, err
-	}
 	sc := sim.DefaultConfig()
 	sc.CoreType = c.CoreType.internal()
 	if c.Cores > 0 {
@@ -336,13 +335,16 @@ func (c Config) spec() (sim.RunSpec, error) {
 	if meas == 0 {
 		meas = 60000
 	}
-	return sim.RunSpec{
+	rs := sim.RunSpec{
 		Config:         sc,
-		Workload:       wp,
 		WarmupRecords:  warm,
 		MeasureRecords: meas,
 		Sampling:       c.Sampling.internal(),
-	}, nil
+	}
+	if err := resolveWorkloadInto(c.Workload, &rs); err != nil {
+		return sim.RunSpec{}, err
+	}
+	return rs, nil
 }
 
 // TrafficCounts breaks LLC/NoC traffic down by message class
@@ -421,7 +423,7 @@ type RunResult struct {
 func fromSim(r sim.Result, workloadName string) RunResult {
 	out := RunResult{
 		Design:             r.Label,
-		Workload:           workloadName,
+		Workload:           WorkloadDisplayName(workloadName),
 		Cores:              r.Cores,
 		Instructions:       r.Instructions,
 		Records:            r.Records,
