@@ -9,6 +9,8 @@
 //	shiftd -addr :9000 -cache-dir ~/.shiftcache   # results survive restarts
 //	shiftd -quick -parallel 8               # reduced default scale, 8 workers
 //	shiftd -job-rate 4 -job-burst 256       # looser admission for trusted clients
+//	shiftd -worker -addr :8081              # cluster worker: serves batches + blobs
+//	shiftd -peers http://w1:8081,http://w2:8082   # coordinator: shard sweeps across workers
 //
 // Endpoints (all under /v1; see the README for request/response
 // samples):
@@ -17,13 +19,31 @@
 //	POST   /v1/grid             run a list of cells; results come back in cell order
 //	POST   /v1/jobs             submit a cell list asynchronously (202 + job id)
 //	GET    /v1/jobs/{id}        job status with partial results as cells land
-//	GET    /v1/jobs/{id}/stream NDJSON: one event per completed cell, then "end"
+//	GET    /v1/jobs/{id}/stream NDJSON: one event per completed cell, periodic
+//	                            "heartbeat" events while idle, then "end"
 //	DELETE /v1/jobs/{id}        cancel: queued cells dropped, running cells finish
 //	GET    /v1/figures/{n}      render an experiment by name ("7", "fig7", "tableI", ...)
 //	GET    /v1/healthz          liveness probe
 //	GET    /v1/readyz           readiness probe: 503 + reasons while degraded
 //	GET    /v1/stats            engine, store, queue, and admission counters (JSON)
 //	GET    /v1/metrics          the same counters in Prometheus text format
+//	POST   /v1/batch            execute a batch of cells (-worker; cluster-internal)
+//	GET    /v1/blobs/{key}      raw result blobs, CRC footers intact (also PUT)
+//	GET    /v1/cluster          coordinator membership, health, and routing counters
+//	POST   /v1/cluster/join     worker announcing itself to the coordinator
+//
+// Cluster roles: a -worker process serves whole stream-key batches on
+// its engine and exports its raw blob tier; a coordinator (-peers, or
+// -coordinator with join-only membership) shards every sweep across the
+// workers by stream key (-route: affinity, round-robin, least-loaded),
+// probes their health (-cluster-heartbeat), re-routes batches off
+// failed workers with jittered backoff (-batch-retries), hedges
+// stragglers (-hedge-after), and degrades to in-process execution when
+// no worker is routable — results stay byte-identical to a single
+// host throughout. Point every node's -store-url at one shared blob
+// store (any peer's /v1/blobs) and the cluster converges on one
+// content-addressed result tier: a restarted worker re-serves the
+// whole grid from the store without re-simulating a cell.
 //
 // Concurrent identical requests share one simulation (the engine's
 // in-flight deduplication), and every completed cell lands in the store,
@@ -53,7 +73,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -61,11 +83,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"shift"
+	"shift/internal/cluster"
 	"shift/internal/jobs"
+	"shift/internal/store"
 )
 
 func main() {
@@ -82,6 +107,19 @@ func main() {
 		jobRetries = flag.Int("job-retries", 2, "extra attempts for job cells that fail transiently (watchdog timeouts); 0 disables")
 		cellTmo    = flag.Duration("cell-timeout", 0, "per-cell watchdog: fail cells running longer than this with a timeout error (0 = off)")
 		maxBody    = flag.Int64("max-body", 1<<20, "request-body size limit in bytes (413 beyond it)")
+		streamBeat = flag.Duration("stream-heartbeat", 15*time.Second, "idle-stream heartbeat period for /v1/jobs/{id}/stream")
+
+		worker      = flag.Bool("worker", false, "serve POST /v1/batch: execute batches for a cluster coordinator")
+		coordinator = flag.Bool("coordinator", false, "shard sweeps across cluster workers (implied by -peers; workers may also POST /v1/cluster/join)")
+		peers       = flag.String("peers", "", "comma-separated worker base URLs to coordinate across")
+		route       = flag.String("route", "affinity", "batch routing policy: affinity, round-robin, or least-loaded")
+		clusterBeat = flag.Duration("cluster-heartbeat", 2*time.Second, "worker health-probe period (0 = no background probing)")
+		batchTmo    = flag.Duration("batch-timeout", 2*time.Minute, "per-batch dispatch timeout")
+		batchRetry  = flag.Int("batch-retries", 0, "re-route attempts per batch after a worker failure (0 = every remaining worker, negative = none)")
+		hedgeAfter  = flag.Duration("hedge-after", 0, "speculatively duplicate a batch to its backup worker after this delay (0 = off)")
+		storeURL    = flag.String("store-url", "", "shared remote blob store base URL (a peer's /v1/blobs); mutually exclusive with -cache-dir")
+		joinURL     = flag.String("join", "", "coordinator base URL to announce this worker to at startup")
+		advertise   = flag.String("advertise", "", "base URL peers reach this process at (with -join; default http://localhost<addr>)")
 	)
 	flag.Parse()
 
@@ -89,18 +127,34 @@ func main() {
 	if *quick {
 		base = shift.QuickOptions()
 	}
+	if *cacheDir != "" && *storeURL != "" {
+		log.Fatal("shiftd: -cache-dir and -store-url are mutually exclusive")
+	}
 	var (
 		rs       shift.ResultStore
+		tiered   *shift.TieredStore
 		storeDsc string
 	)
-	if *cacheDir != "" {
-		tiered, err := shift.NewTieredStore(*cacheDir)
+	switch {
+	case *cacheDir != "":
+		t, err := shift.NewTieredStore(*cacheDir)
 		if err != nil {
 			log.Fatalf("shiftd: %v", err)
 		}
+		tiered = t
+		rs = t
+		storeDsc = fmt.Sprintf("tiered memory-over-disk at %s (%d cells)", *cacheDir, t.Len())
+	case *storeURL != "":
+		tiered = shift.NewTieredRemoteStore(*storeURL, nil)
 		rs = tiered
-		storeDsc = fmt.Sprintf("tiered memory-over-disk at %s (%d cells)", *cacheDir, tiered.Len())
-	} else {
+		storeDsc = fmt.Sprintf("tiered memory-over-remote at %s", *storeURL)
+	case *worker:
+		// A worker without persistent storage still keeps a raw footered
+		// blob tier, so it has bytes to serve to cluster peers.
+		tiered = shift.NewTieredStoreOver(store.NewMem())
+		rs = tiered
+		storeDsc = "tiered memory-over-memory (blob tier exported)"
+	default:
 		rs = shift.NewResultCache()
 		storeDsc = "in-memory"
 	}
@@ -117,6 +171,42 @@ func main() {
 	})
 	defer jm.Close()
 	srv := newServer(engine, rs, base, jm, *maxBody)
+	srv.streamHeartbeat = *streamBeat
+	if bt := tiered.BlobTier(); bt != nil {
+		srv.blobs = store.NewBlobHandler(bt)
+		if rem, ok := bt.(*store.Remote); ok {
+			srv.remoteErrs = rem.Errors
+		}
+	}
+	if *worker {
+		srv.worker = cluster.NewWorker(engine)
+	}
+	if *peers != "" || *coordinator {
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		coord, err := cluster.New(cluster.Config{
+			Peers:          peerList,
+			Route:          *route,
+			HeartbeatEvery: *clusterBeat,
+			BatchTimeout:   *batchTmo,
+			Retries:        *batchRetry,
+			HedgeAfter:     *hedgeAfter,
+		})
+		if err != nil {
+			log.Fatalf("shiftd: %v", err)
+		}
+		defer coord.Close()
+		engine.SetExecutor(coord)
+		srv.cluster = coord
+		log.Printf("shiftd coordinating %d workers (route: %s)", len(peerList), *route)
+	}
+	if *joinURL != "" {
+		go announceJoin(*joinURL, *advertise, *addr)
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.handler(),
@@ -143,4 +233,41 @@ func main() {
 			log.Printf("shiftd: shutdown: %v", err)
 		}
 	}
+}
+
+// announceJoin posts this worker's reachable base URL to the
+// coordinator's join endpoint, retrying briefly so a worker started a
+// moment before its coordinator still registers. Failures are logged,
+// not fatal: a coordinator can also list the worker in -peers.
+func announceJoin(joinURL, advertise, addr string) {
+	if advertise == "" {
+		// Best-effort default for single-host clusters; multi-host
+		// deployments must pass -advertise.
+		if strings.HasPrefix(addr, ":") {
+			advertise = "http://localhost" + addr
+		} else {
+			advertise = "http://" + addr
+		}
+	}
+	body, _ := json.Marshal(map[string]string{"addr": advertise})
+	target := strings.TrimRight(joinURL, "/") + "/v1/cluster/join"
+	client := &http.Client{Timeout: 5 * time.Second}
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * time.Second)
+		}
+		resp, err := client.Post(target, "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			log.Printf("shiftd: joined cluster at %s as %s", joinURL, advertise)
+			return
+		}
+		lastErr = fmt.Errorf("status %s", resp.Status)
+	}
+	log.Printf("shiftd: joining cluster at %s failed: %v", joinURL, lastErr)
 }

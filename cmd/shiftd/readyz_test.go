@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"shift"
+	"shift/internal/cluster"
 	"shift/internal/jobs"
 	"shift/internal/store"
 )
@@ -92,6 +93,7 @@ func TestDegradedReasons(t *testing.T) {
 		js        jobs.Stats
 		health    shift.StoreHealth
 		hasHealth bool
+		workers   []cluster.MemberStatus
 		want      int
 		contains  string
 	}{
@@ -124,9 +126,31 @@ func TestDegradedReasons(t *testing.T) {
 			es:   shift.EngineStats{Inflight: 2, Capacity: 4},
 			js:   jobs.Stats{QueueDepth: 7},
 		},
+		{
+			name: "all cluster workers up",
+			workers: []cluster.MemberStatus{
+				{Addr: "http://w1:8080", State: "up"},
+				{Addr: "http://w2:8080", State: "up"},
+			},
+		},
+		{
+			name: "one worker suspect",
+			workers: []cluster.MemberStatus{
+				{Addr: "http://w1:8080", State: "up"},
+				{Addr: "http://w2:8080", State: "suspect", Fails: 1, LastErr: "connection refused"},
+			},
+			want: 1, contains: "connection refused",
+		},
+		{
+			name: "all workers down",
+			workers: []cluster.MemberStatus{
+				{Addr: "http://w1:8080", State: "down", Fails: 5},
+			},
+			want: 2, contains: "cluster worker http://w1:8080 down",
+		},
 	} {
 		t.Run(tt.name, func(t *testing.T) {
-			got := degradedReasons(tt.es, tt.js, tt.health, tt.hasHealth)
+			got := degradedReasons(tt.es, tt.js, tt.health, tt.hasHealth, tt.workers)
 			if len(got) != tt.want {
 				t.Fatalf("degradedReasons = %v, want %d reasons", got, tt.want)
 			}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"shift"
+	"shift/internal/cluster"
 	"shift/internal/jobs"
 	"shift/internal/store"
 	"shift/internal/validate"
@@ -34,6 +35,23 @@ type server struct {
 	maxBody  int64
 	started  time.Time
 	requests atomic.Int64
+
+	// Cluster wiring, set after construction when the process runs in a
+	// cluster role (see main). cluster is the coordinator (batches from
+	// this process shard across workers; /v1/cluster is served); worker
+	// serves POST /v1/batch on the shared engine; blobs exports the
+	// store's raw blob tier under /v1/blobs; remoteErrs reports the
+	// remote-store failure count when the store's persistent tier is a
+	// remote peer.
+	cluster    *cluster.Coordinator
+	worker     *cluster.Worker
+	blobs      http.Handler
+	remoteErrs func() int64
+
+	// streamHeartbeat is the idle-stream heartbeat period for
+	// /v1/jobs/{id}/stream (0 = 15s): an NDJSON "heartbeat" event keeps
+	// idle proxies from dropping a silent connection between cells.
+	streamHeartbeat time.Duration
 }
 
 // newServer builds a server around a shared engine, its store, the base
@@ -61,6 +79,18 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	if s.worker != nil {
+		mux.HandleFunc("POST /v1/batch", s.worker.HandleBatch)
+	}
+	if s.blobs != nil {
+		blobs := http.StripPrefix("/v1/blobs", s.blobs)
+		mux.Handle("/v1/blobs", blobs)
+		mux.Handle("/v1/blobs/", blobs)
+	}
+	if s.cluster != nil {
+		mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+		mux.HandleFunc("POST /v1/cluster/join", s.handleClusterJoin)
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		mux.ServeHTTP(w, r)
@@ -529,10 +559,12 @@ func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // jobStreamEvent is one NDJSON line of GET /v1/jobs/{id}/stream: a
-// "cell" event per finished cell as it lands, then one final "end"
+// "cell" event per finished cell as it lands, a "heartbeat" event on
+// every idle period (see -stream-heartbeat) so proxies and clients can
+// tell a slow simulation from a dead connection, then one final "end"
 // event carrying the job's terminal state.
 type jobStreamEvent struct {
-	// Type is "cell" or "end".
+	// Type is "cell", "heartbeat", or "end".
 	Type string `json:"type"`
 	// Index is the cell's position in the submitted job ("cell").
 	Index *int `json:"index,omitempty"`
@@ -550,7 +582,9 @@ type jobStreamEvent struct {
 // handleJobStream serves GET /v1/jobs/{id}/stream: newline-delimited
 // JSON, one event per completed cell, replayed from the job's start and
 // then followed live until the job reaches a terminal state or the
-// client disconnects.
+// client disconnects. While no cell finishes, a "heartbeat" event is
+// emitted every streamHeartbeat period so the connection never goes
+// silent long enough for an idle-timeout proxy to cut it.
 func (s *server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
@@ -566,6 +600,12 @@ func (s *server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 		fl.Flush()
 	}
 	enc := json.NewEncoder(w)
+	beat := s.streamHeartbeat
+	if beat <= 0 {
+		beat = 15 * time.Second
+	}
+	ticker := time.NewTicker(beat)
+	defer ticker.Stop()
 	n := 0
 	for {
 		evs, terminal, changed := j.EventsSince(n)
@@ -592,8 +632,11 @@ func (s *server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		n += len(evs)
-		if len(evs) > 0 && fl != nil {
-			fl.Flush()
+		if len(evs) > 0 {
+			ticker.Reset(beat)
+			if fl != nil {
+				fl.Flush()
+			}
 		}
 		if terminal {
 			return
@@ -602,6 +645,14 @@ func (s *server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		case <-changed:
+		case <-ticker.C:
+			if err := enc.Encode(jobStreamEvent{Type: "heartbeat"}); err != nil {
+				log.Printf("shiftd: streaming job %s: %v", j.ID(), err)
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
 		}
 	}
 }
@@ -760,6 +811,64 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// clusterResponse is the GET /v1/cluster reply: the coordinator's
+// membership view with per-worker health, plus the routing counters.
+type clusterResponse struct {
+	// Workers is the per-worker health snapshot, address-ordered.
+	Workers []cluster.MemberStatus `json:"workers"`
+	// WorkersUp/WorkersSuspect/WorkersDown count workers by state.
+	WorkersUp      int `json:"workers_up"`
+	WorkersSuspect int `json:"workers_suspect"`
+	WorkersDown    int `json:"workers_down"`
+	// BatchesRouted/BatchesRerouted/BatchesHedged count dispatched
+	// batches by path; FallbackCells counts cells degraded to
+	// in-process execution; DispatchErrors counts transport failures.
+	BatchesRouted   int64 `json:"batches_routed"`
+	BatchesRerouted int64 `json:"batches_rerouted"`
+	BatchesHedged   int64 `json:"batches_hedged"`
+	FallbackCells   int64 `json:"fallback_cells"`
+	DispatchErrors  int64 `json:"dispatch_errors"`
+}
+
+// handleCluster serves GET /v1/cluster (coordinator only).
+func (s *server) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	st := s.cluster.Stats()
+	writeJSON(w, http.StatusOK, clusterResponse{
+		Workers:         s.cluster.Members(),
+		WorkersUp:       st.WorkersUp,
+		WorkersSuspect:  st.WorkersSuspect,
+		WorkersDown:     st.WorkersDown,
+		BatchesRouted:   st.BatchesRouted,
+		BatchesRerouted: st.BatchesRerouted,
+		BatchesHedged:   st.BatchesHedged,
+		FallbackCells:   st.CellsFallback,
+		DispatchErrors:  st.DispatchErrors,
+	})
+}
+
+// joinRequest is the POST /v1/cluster/join body: a worker announcing
+// its reachable base URL (shiftd -worker -join posts this at startup).
+type joinRequest struct {
+	// Addr is the worker's base URL ("host:port" or "http://host:port").
+	Addr string `json:"addr"`
+}
+
+// handleClusterJoin serves POST /v1/cluster/join (coordinator only):
+// adds the worker to the membership, idempotently, and answers with
+// the updated membership view.
+func (s *server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Addr == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing \"addr\""))
+		return
+	}
+	s.cluster.Join(req.Addr)
+	writeJSON(w, http.StatusOK, map[string]any{"workers": s.cluster.Members()})
+}
+
 // storeHealth reports the result store's failure-domain health when the
 // store exposes it (TieredStore and DiskStore do; the in-memory cache
 // has no failure domain and reports nothing).
@@ -781,11 +890,14 @@ type readyzResponse struct {
 
 // degradedReasons evaluates the readiness conditions: the store's
 // circuit breaker not closed (persistence is being bypassed),
-// quarantined corrupt blobs on disk (operator attention needed), and a
+// quarantined corrupt blobs on disk (operator attention needed), a
 // saturated worker pool with job cells still queued (new work will
-// wait). Pure — handleReadyz feeds it live snapshots, tests feed it
-// fixtures.
-func degradedReasons(es shift.EngineStats, js jobs.Stats, health shift.StoreHealth, hasHealth bool) []string {
+// wait), and unhealthy cluster workers (nil workers = not
+// coordinating): each suspect or down worker gets its own reason with
+// the last observed error, and a cluster with no routable worker at
+// all reports the in-process degradation explicitly. Pure —
+// handleReadyz feeds it live snapshots, tests feed it fixtures.
+func degradedReasons(es shift.EngineStats, js jobs.Stats, health shift.StoreHealth, hasHealth bool, workers []cluster.MemberStatus) []string {
 	var reasons []string
 	if hasHealth {
 		switch health.BreakerState {
@@ -805,6 +917,26 @@ func degradedReasons(es shift.EngineStats, js jobs.Stats, health shift.StoreHeal
 		reasons = append(reasons, fmt.Sprintf(
 			"worker pool saturated: %d/%d slots busy, %d job cells queued", es.Inflight, es.Capacity, js.QueueDepth))
 	}
+	routable := 0
+	for _, m := range workers {
+		switch m.State {
+		case "up":
+			routable++
+		default:
+			reason := fmt.Sprintf("cluster worker %s %s (%d consecutive failures)", m.Addr, m.State, m.Fails)
+			if m.LastErr != "" {
+				reason += ": " + m.LastErr
+			}
+			reasons = append(reasons, reason)
+			if m.State == "suspect" {
+				routable++
+			}
+		}
+	}
+	if len(workers) > 0 && routable == 0 {
+		reasons = append(reasons, fmt.Sprintf(
+			"all %d cluster workers down: batches executing in-process", len(workers)))
+	}
 	return reasons
 }
 
@@ -816,7 +948,11 @@ func degradedReasons(es shift.EngineStats, js jobs.Stats, health shift.StoreHeal
 // routing to a degraded replica while /v1/healthz stays green.
 func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	health, hasHealth := s.storeHealth()
-	reasons := degradedReasons(s.engine.Stats(), s.jobs.Stats(), health, hasHealth)
+	var workers []cluster.MemberStatus
+	if s.cluster != nil {
+		workers = s.cluster.Members()
+	}
+	reasons := degradedReasons(s.engine.Stats(), s.jobs.Stats(), health, hasHealth, workers)
 	if len(reasons) == 0 {
 		writeJSON(w, http.StatusOK, readyzResponse{Status: "ready"})
 		return
@@ -885,6 +1021,32 @@ type statsResponse struct {
 	JobLatencyP50 float64 `json:"job_latency_p50_seconds"`
 	JobLatencyP90 float64 `json:"job_latency_p90_seconds"`
 	JobLatencyP99 float64 `json:"job_latency_p99_seconds"`
+	// RemoteStoreErrors counts failed operations against the remote
+	// blob store (transport errors and bad statuses), when the store's
+	// persistent tier is a remote peer (-store-url).
+	RemoteStoreErrors int64 `json:"remote_store_errors,omitempty"`
+	// Cluster carries the coordinator's routing and worker-health
+	// counters; absent when this process is not coordinating.
+	Cluster *clusterStatsResponse `json:"cluster,omitempty"`
+}
+
+// clusterStatsResponse is the "cluster" block of GET /v1/stats.
+type clusterStatsResponse struct {
+	// WorkersUp/WorkersSuspect/WorkersDown count workers by health
+	// state.
+	WorkersUp      int `json:"workers_up"`
+	WorkersSuspect int `json:"workers_suspect"`
+	WorkersDown    int `json:"workers_down"`
+	// BatchesRouted counts batches executed on a worker;
+	// BatchesRerouted, attempts re-routed after a transport failure;
+	// BatchesHedged, speculative duplicates sent to stragglers'
+	// backups; FallbackCells, cells degraded to in-process execution;
+	// DispatchErrors, transport-level dispatch failures.
+	BatchesRouted   int64 `json:"batches_routed"`
+	BatchesRerouted int64 `json:"batches_rerouted"`
+	BatchesHedged   int64 `json:"batches_hedged"`
+	FallbackCells   int64 `json:"fallback_cells"`
+	DispatchErrors  int64 `json:"dispatch_errors"`
 }
 
 // handleStats serves GET /v1/stats.
@@ -892,6 +1054,24 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	es := s.engine.Stats()
 	js := s.jobs.Stats()
 	health, _ := s.storeHealth()
+	var cl *clusterStatsResponse
+	if s.cluster != nil {
+		st := s.cluster.Stats()
+		cl = &clusterStatsResponse{
+			WorkersUp:       st.WorkersUp,
+			WorkersSuspect:  st.WorkersSuspect,
+			WorkersDown:     st.WorkersDown,
+			BatchesRouted:   st.BatchesRouted,
+			BatchesRerouted: st.BatchesRerouted,
+			BatchesHedged:   st.BatchesHedged,
+			FallbackCells:   st.CellsFallback,
+			DispatchErrors:  st.DispatchErrors,
+		}
+	}
+	var remoteErrs int64
+	if s.remoteErrs != nil {
+		remoteErrs = s.remoteErrs()
+	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSeconds:     time.Since(s.started).Seconds(),
 		Requests:          s.requests.Load(),
@@ -919,6 +1099,8 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		JobLatencyP50:     js.LatencyP50,
 		JobLatencyP90:     js.LatencyP90,
 		JobLatencyP99:     js.LatencyP99,
+		RemoteStoreErrors: remoteErrs,
+		Cluster:           cl,
 	})
 }
 
@@ -964,6 +1146,20 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			boolGauge(health.BreakerState == store.BreakerOpen))
 		metric("shiftd_store_breaker_trips_total", "counter", "Closed-to-open store breaker transitions.", float64(health.BreakerTrips))
 		metric("shiftd_store_mem_only_total", "counter", "Store operations served memory-only while the breaker was open.", float64(health.MemOnlyOps))
+	}
+	if s.remoteErrs != nil {
+		metric("shiftd_remote_store_errors_total", "counter", "Failed operations against the remote blob store.", float64(s.remoteErrs()))
+	}
+	if s.cluster != nil {
+		st := s.cluster.Stats()
+		metric("shiftd_cluster_workers_up", "gauge", "Cluster workers in the up state.", float64(st.WorkersUp))
+		metric("shiftd_cluster_workers_suspect", "gauge", "Cluster workers in the suspect state.", float64(st.WorkersSuspect))
+		metric("shiftd_cluster_workers_down", "gauge", "Cluster workers in the down state.", float64(st.WorkersDown))
+		metric("shiftd_cluster_batches_routed_total", "counter", "Batches executed on a cluster worker.", float64(st.BatchesRouted))
+		metric("shiftd_cluster_batches_rerouted_total", "counter", "Batch attempts re-routed after a worker failure.", float64(st.BatchesRerouted))
+		metric("shiftd_cluster_batches_hedged_total", "counter", "Speculative duplicate dispatches to stragglers' backups.", float64(st.BatchesHedged))
+		metric("shiftd_cluster_fallback_cells_total", "counter", "Cells degraded to in-process execution.", float64(st.CellsFallback))
+		metric("shiftd_cluster_dispatch_errors_total", "counter", "Transport-level batch dispatch failures.", float64(st.DispatchErrors))
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, b.String())

@@ -131,6 +131,43 @@ func NewEngine(parallelism int, rs ResultStore) *Engine {
 // A/B measurement. Not safe to call concurrently with RunAll.
 func (e *Engine) SetBatching(on bool) { e.noBatch = !on }
 
+// Executor is the engine's cell-execution strategy: how one cell, or
+// one shared-stream batch, actually gets simulated once the engine has
+// decided it must run (store miss, not already in flight). The default
+// strategy is in-process Run/RunBatch; a cluster coordinator installs
+// itself here to route batches to remote workers instead.
+//
+// The determinism contract transfers whole: ExecCell must return a
+// result bit-identical to Run(cfg), and ExecBatch to RunBatch(cfgs) —
+// the simulator is a pure function of its Config, so any executor that
+// ultimately runs the same simulator (locally, on a worker, or on a
+// retry after a worker died) satisfies this by construction. Everything
+// else the engine does — store memoization, in-flight deduplication,
+// stream-key batching, cell-keyed merge — is unchanged, which is what
+// keeps a clustered sweep byte-identical to a single-host one.
+type Executor interface {
+	// ExecCell runs one cell's simulation.
+	ExecCell(cfg Config) (RunResult, error)
+	// ExecBatch runs one shared-stream batch (equal StreamKeys),
+	// returning results positionally. An error fails the whole batch;
+	// the engine then falls back to per-cell ExecCell calls, which
+	// reproduce exact per-cell errors.
+	ExecBatch(cfgs []Config) ([]RunResult, error)
+}
+
+// SetExecutor replaces the engine's execution strategy (nil restores
+// the in-process default). Containment still wraps the executor: a
+// panicking executor costs one cell, and the watchdog (SetCellTimeout)
+// still frees wedged worker slots. Not safe to call concurrently with
+// RunAll.
+func (e *Engine) SetExecutor(x Executor) {
+	if x == nil {
+		e.runCell, e.runBatch = nil, nil
+		return
+	}
+	e.runCell, e.runBatch = x.ExecCell, x.ExecBatch
+}
+
 // simulate runs one cell's simulation under the engine-wide
 // concurrency bound and counts it.
 func (e *Engine) simulate(cfg Config) (RunResult, error) {

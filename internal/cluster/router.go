@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync/atomic"
+)
+
+// Router orders the candidate workers for dispatching one batch: the
+// coordinator tries the returned members front to back, so position 0
+// is the preferred worker and the rest are the failover order. The
+// candidates passed in are routable (up, or suspect when nothing is
+// up); a router never needs to filter health itself. Implementations
+// must be safe for concurrent use and must not mutate or retain the
+// candidate slice.
+type Router interface {
+	// Pick orders candidates for the batch with the given stream key.
+	Pick(streamKey string, candidates []*Member) []*Member
+}
+
+// NewRouter returns the named routing policy: "affinity" (stream-key
+// affinity via rendezvous hashing — the default), "round-robin", or
+// "least-loaded".
+func NewRouter(name string) (Router, error) {
+	switch name {
+	case "", "affinity":
+		return &AffinityRouter{}, nil
+	case "round-robin":
+		return &RoundRobinRouter{}, nil
+	case "least-loaded":
+		return &LeastLoadedRouter{}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown routing policy %q (valid: affinity, round-robin, least-loaded)", name)
+}
+
+// AffinityRouter routes by stream-key affinity using rendezvous
+// (highest-random-weight) hashing: each worker scores hash(streamKey,
+// addr) and the batch goes to the highest score. The same stream key
+// always lands on the same worker while membership is unchanged — so a
+// batch's shared trace stream, and the memoized results of every cell
+// that consumed it, live on one worker — while distinct stream keys
+// spread uniformly across the cluster. When a worker dies, only its
+// keys move (each to its second-highest scorer, which is exactly the
+// failover order Pick returns), and they move back when it rejoins:
+// affinity is rebuilt from membership alone, with no state to migrate.
+type AffinityRouter struct{}
+
+// score is the rendezvous weight of addr for streamKey.
+func (*AffinityRouter) score(streamKey, addr string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(streamKey))
+	h.Write([]byte{0})
+	h.Write([]byte(addr))
+	return h.Sum64()
+}
+
+// Pick orders candidates by descending rendezvous score.
+func (r *AffinityRouter) Pick(streamKey string, candidates []*Member) []*Member {
+	out := append([]*Member(nil), candidates...)
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := r.score(streamKey, out[i].Addr()), r.score(streamKey, out[j].Addr())
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Addr() < out[j].Addr()
+	})
+	return out
+}
+
+// RoundRobinRouter ignores the stream key and deals batches out in
+// rotation. Simple and perfectly balanced, but stream-key locality is
+// lost: the same workload's batches land on different workers across
+// sweeps, so worker-side memoization and trace-stream reuse suffer.
+// Useful as a baseline and for perfectly homogeneous sweeps.
+type RoundRobinRouter struct {
+	next atomic.Uint64
+}
+
+// Pick rotates the candidate order by an advancing counter.
+func (r *RoundRobinRouter) Pick(_ string, candidates []*Member) []*Member {
+	if len(candidates) == 0 {
+		return nil
+	}
+	// Sort by address first so rotation is over a stable ring, not over
+	// whatever order membership happened to arrive in.
+	ring := append([]*Member(nil), candidates...)
+	sort.Slice(ring, func(i, j int) bool { return ring[i].Addr() < ring[j].Addr() })
+	k := int(r.next.Add(1)-1) % len(ring)
+	out := make([]*Member, 0, len(ring))
+	out = append(out, ring[k:]...)
+	out = append(out, ring[:k]...)
+	return out
+}
+
+// LeastLoadedRouter orders workers by the coordinator's view of their
+// outstanding batches (fewest first, address-ordered on ties, so the
+// order is deterministic for a given load state). Good when batch
+// costs vary wildly; like round-robin it sacrifices stream-key
+// locality.
+type LeastLoadedRouter struct{}
+
+// Pick orders candidates by ascending in-flight batch count.
+func (*LeastLoadedRouter) Pick(_ string, candidates []*Member) []*Member {
+	out := append([]*Member(nil), candidates...)
+	sort.SliceStable(out, func(i, j int) bool {
+		li, lj := out[i].Inflight(), out[j].Inflight()
+		if li != lj {
+			return li < lj
+		}
+		return out[i].Addr() < out[j].Addr()
+	})
+	return out
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"shift"
+)
+
+// This file is the worker half of the fabric: the wire protocol of
+// POST /v1/batch and the handler that executes a routed batch on the
+// worker's local engine. The worker is deliberately dumb — it runs
+// whatever whole batch arrives and answers per-cell — because all
+// placement, failover, and merge intelligence lives in the
+// coordinator. Running through the local engine (never bare
+// shift.RunBatch) gives every routed batch the worker's store
+// memoization, in-flight deduplication, and containment for free, so a
+// re-routed or re-dispatched batch whose cells were already computed
+// here is served from the store instead of re-simulated.
+
+// BatchRequest is the wire form of POST /v1/batch: one shared-stream
+// batch of fully-resolved simulation configs. Configs travel as their
+// exact JSON encoding (all fields exported; floats round-trip
+// bit-exactly), so the worker computes the same content-address keys
+// as the coordinator.
+type BatchRequest struct {
+	// Cells is the batch, in coordinator cell order. Members of one
+	// request normally share a StreamKey (that is the routing unit),
+	// but the worker does not require it — the engine re-partitions.
+	Cells []shift.Config `json:"cells"`
+}
+
+// BatchResponse is the wire form of a POST /v1/batch reply: one entry
+// per requested cell, positionally aligned with the request.
+type BatchResponse struct {
+	// Results holds one outcome per request cell.
+	Results []BatchResult `json:"results"`
+}
+
+// BatchResult is one cell's outcome within a BatchResponse.
+type BatchResult struct {
+	// Key is the cell's content address (shift.Config.Key), computed on
+	// the worker; the coordinator cross-checks it against its own.
+	Key string `json:"key"`
+	// Result is the simulation result (success only).
+	Result *shift.RunResult `json:"result,omitempty"`
+	// Error is the cell's raw simulation error (failure only), without
+	// the engine's "cell <label>:" prefix — the coordinator's engine
+	// re-attaches its own label, so clustered error messages match
+	// single-host ones.
+	Error string `json:"error,omitempty"`
+}
+
+// Worker executes routed batches on a local engine. It serves POST
+// /v1/batch (HandleBatch); the blob tier and health probes are served
+// by the surrounding process (shiftd mounts /v1/blobs and /v1/healthz
+// alongside).
+type Worker struct {
+	engine  *shift.Engine
+	batches atomic.Int64
+	cells   atomic.Int64
+}
+
+// NewWorker returns a worker executing batches on engine.
+func NewWorker(engine *shift.Engine) *Worker {
+	return &Worker{engine: engine}
+}
+
+// Batches returns the number of batch requests served.
+func (w *Worker) Batches() int64 { return w.batches.Load() }
+
+// Cells returns the number of cells received across all batches.
+func (w *Worker) Cells() int64 { return w.cells.Load() }
+
+// workerLabel is the default cell label the worker runs a routed config
+// under — the same "workload/design" derivation the engine uses for
+// grid cells, so worker-side diagnostics read like single-host ones.
+func workerLabel(cfg shift.Config) string {
+	return cfg.Workload + "/" + cfg.Design.String()
+}
+
+// stripCellPrefix removes the engine's "cell <label>: " error prefix so
+// the raw simulation error travels the wire and the coordinator's
+// engine can attach its own label exactly once.
+func stripCellPrefix(msg, label string) string {
+	return strings.TrimPrefix(msg, "cell "+label+": ")
+}
+
+// HandleBatch serves POST /v1/batch: decode the batch, execute it on
+// the local engine, answer per-cell. A batch with a failing cell is
+// re-executed cell by cell so every cell reports its own exact result
+// or error (the simulator is deterministic, so the re-execution is
+// mostly store hits).
+func (w *Worker) HandleBatch(rw http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	r.Body = http.MaxBytesReader(rw, r.Body, 16<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(rw, fmt.Sprintf("decoding batch: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Cells) == 0 {
+		http.Error(rw, "empty batch", http.StatusBadRequest)
+		return
+	}
+	w.batches.Add(1)
+	w.cells.Add(int64(len(req.Cells)))
+
+	cells := make([]shift.Cell, len(req.Cells))
+	for i, cfg := range req.Cells {
+		cells[i] = shift.Cell{Label: workerLabel(cfg), Config: cfg}
+	}
+	resp := BatchResponse{Results: make([]BatchResult, len(cells))}
+	results, err := w.engine.RunAll(cells)
+	for i := range cells {
+		resp.Results[i].Key = cells[i].Config.Key()
+		if err == nil {
+			res := results[i]
+			resp.Results[i].Result = &res
+			continue
+		}
+		// Per-cell fallback: RunAll surfaced only the lowest-index
+		// failure; re-run each cell individually for its own outcome.
+		res, cerr := w.engine.RunOne(cells[i].Config)
+		if cerr != nil {
+			resp.Results[i].Error = stripCellPrefix(cerr.Error(), cells[i].Label)
+			continue
+		}
+		resp.Results[i].Result = &res
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(rw).Encode(resp); err != nil {
+		// The header is committed; nothing to do but note it — the
+		// coordinator sees a truncated body and retries elsewhere.
+		return
+	}
+}
+
+// BatchError reports a batch whose worker answered definitively — the
+// dispatch succeeded but one or more cells failed in simulation. It is
+// never transient: re-routing re-runs the same deterministic failure,
+// so the coordinator surfaces it instead, and the engine's per-cell
+// fallback then reproduces each member's exact error.
+type BatchError struct {
+	// Cells maps batch position to the worker's raw error message.
+	Cells map[int]string
+}
+
+// Error summarizes the failing cells by batch position.
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("cluster: %d of a batch's cells failed on the worker", len(e.Cells))
+}
+
+// errDispatch marks transport-level dispatch failures (unreachable
+// worker, timeout, bad status, undecodable reply) — the re-routable
+// class, as opposed to a BatchError.
+var errDispatch = errors.New("cluster: dispatch failed")

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http"
 	"sync/atomic"
 
 	"shift/internal/store"
@@ -101,6 +102,7 @@ type HealthReporter interface {
 // absorbed as misses or dropped writes and counted by Errors.
 type DiskStore struct {
 	blobs                *store.Integrity
+	base                 store.Blobs // raw footered tier (what BlobTier serves)
 	disk                 *store.Disk // base layer; nil in fault-injected test stacks
 	hits, misses, errors atomic.Int64
 	lastLen              atomic.Int64
@@ -116,14 +118,32 @@ func NewDiskStore(dir string) (*DiskStore, error) {
 	return newDiskStoreStack(disk, disk), nil
 }
 
+// NewRemoteStore returns a ResultStore whose blobs live on a cluster
+// peer: reads and writes go to the peer's /v1/blobs routes (any shiftd
+// with a blob tier serves them) through the same resilience stack as
+// DiskStore — jittered retry below CRC-32C verification — so a blob
+// corrupted on the remote disk, in the peer process, or on the wire
+// fails the local CRC check exactly as a local bit-flip would, and the
+// key self-heals on the next Store. A nil client selects a default
+// with a 30-second timeout. baseURL is the peer's blob mount, e.g.
+// "http://coordinator:8080/v1/blobs".
+//
+// Coordinator and workers pointed at one peer's blob tier converge on
+// a single content-addressed result store: a cell computed anywhere in
+// the cluster is a store hit everywhere.
+func NewRemoteStore(baseURL string, client *http.Client) *DiskStore {
+	return newDiskStoreStack(store.NewRemote(baseURL, client), nil)
+}
+
 // newDiskStoreStack assembles the resilience stack over base — retry
 // (jittered backoff for transient IO) below integrity (CRC footers,
 // quarantine on corruption) — and seeds the last-known blob count.
 // disk is the base *store.Disk when base is (or wraps) one, nil when
-// the chaos tests drive the stack over an in-memory store.
+// the stack runs over an in-memory or remote backend.
 func newDiskStoreStack(base store.Blobs, disk *store.Disk) *DiskStore {
 	s := &DiskStore{
 		blobs: store.WithIntegrity(store.WithRetry(base, store.RetryPolicy{})),
+		base:  base,
 		disk:  disk,
 	}
 	if n, err := s.blobs.Len(); err == nil {
@@ -138,6 +158,18 @@ func (s *DiskStore) Dir() string {
 		return ""
 	}
 	return s.disk.Dir()
+}
+
+// BlobTier returns the store's raw blob backend — the layer below
+// integrity checking, holding blobs with their CRC footers attached.
+// This is the tier a cluster process serves to peers over /v1/blobs:
+// serving raw footered bytes lets remote clients verify the CRC
+// end-to-end over the wire. Nil for stores without a blob backend.
+func (s *DiskStore) BlobTier() store.Blobs {
+	if s == nil {
+		return nil
+	}
+	return s.base
 }
 
 // Lookup reads, verifies, and decodes the result stored under key. An
@@ -293,6 +325,30 @@ func NewTieredStore(dir string) (*TieredStore, error) {
 	return newTieredStore(disk), nil
 }
 
+// NewTieredRemoteStore returns a tiered store whose persistent layer is
+// a cluster peer's blob tier (see NewRemoteStore) instead of a local
+// directory: memory speed for hot cells, the shared remote tier for
+// durability and cross-process reuse, and the usual circuit breaker in
+// between — when the peer is unreachable the breaker trips and the
+// store runs memory-only until a half-open probe finds it healthy
+// again. This is the store behind shiftd's -store-url.
+func NewTieredRemoteStore(baseURL string, client *http.Client) *TieredStore {
+	return newTieredStore(NewRemoteStore(baseURL, client))
+}
+
+// NewTieredStoreOver assembles a tiered store — memory over the full
+// retry/integrity/breaker resilience stack — on an arbitrary blob
+// backend. A shiftd worker without a cache directory uses it over an
+// in-memory blob tier so it still has raw footered blobs to serve to
+// cluster peers.
+func NewTieredStoreOver(base store.Blobs) *TieredStore {
+	var disk *store.Disk
+	if d, ok := base.(*store.Disk); ok {
+		disk = d
+	}
+	return newTieredStore(newDiskStoreStack(base, disk))
+}
+
 // newTieredStore assembles a tiered store over an existing disk layer
 // with the default breaker policy (trip on 8 failures within the last
 // 16 disk operations, probe every 5s).
@@ -394,6 +450,16 @@ func (s *TieredStore) Quarantined() int64 {
 		return 0
 	}
 	return s.disk.Quarantined()
+}
+
+// BlobTier returns the persistent layer's raw blob backend (see
+// DiskStore.BlobTier); a cluster process serves it to peers over
+// /v1/blobs.
+func (s *TieredStore) BlobTier() store.Blobs {
+	if s == nil {
+		return nil
+	}
+	return s.disk.BlobTier()
 }
 
 // Health returns the store's failure-handling snapshot, including the
