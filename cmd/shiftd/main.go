@@ -7,6 +7,7 @@
 //
 //	shiftd                                  # in-memory store on :8080
 //	shiftd -addr :9000 -cache-dir ~/.shiftcache   # results survive restarts
+//	shiftd -state-dir /var/lib/shiftd       # accepted jobs survive restarts too
 //	shiftd -quick -parallel 8               # reduced default scale, 8 workers
 //	shiftd -job-rate 4 -job-burst 256       # looser admission for trusted clients
 //	shiftd -worker -addr :8081              # cluster worker: serves batches + blobs
@@ -66,8 +67,20 @@
 // stuck cell, and -job-retries re-enqueues job cells that failed
 // transiently. /v1/readyz reports every active degradation.
 //
-// Shutdown is graceful: on SIGINT/SIGTERM the listener closes and
-// in-flight requests get -grace to finish. A request abandoned by its
+// With -state-dir, accepted jobs are durable: every submission,
+// per-cell completion, and cancellation is appended to a CRC-framed
+// write-ahead journal before it is acknowledged. On restart the journal
+// is replayed — completed cells resolve through the result store
+// without re-simulation, unfinished cells re-enter the queue and re-run
+// to byte-identical results, and a torn final record (a crash mid-write)
+// is discarded and counted, while interior corruption refuses to start.
+// /v1/stats and /v1/metrics expose journal and recovery counters.
+//
+// Shutdown is graceful: on SIGINT/SIGTERM new job submissions get a
+// clean 503 + Retry-After while running cells finish and journal within
+// -grace; the queue is checkpointed (with -state-dir it re-admits on
+// the next boot), then the listener closes and remaining in-flight
+// requests get the rest of -grace to finish. A request abandoned by its
 // client stops waiting immediately, but its simulation runs to
 // completion and seeds the store — retries hit instead of recomputing.
 package main
@@ -83,6 +96,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -91,12 +105,14 @@ import (
 	"shift/internal/cluster"
 	"shift/internal/jobs"
 	"shift/internal/store"
+	"shift/internal/wal"
 )
 
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
 		cacheDir   = flag.String("cache-dir", "", "persist results under this directory (tiered memory-over-disk store); empty = in-memory only")
+		stateDir   = flag.String("state-dir", "", "persist service state (job journal, cluster membership) under this directory; accepted jobs then survive restarts and crashes")
 		parallel   = flag.Int("parallel", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 		quick      = flag.Bool("quick", false, "reduced default experiment scale (~6x faster; per-request overrides still apply)")
 		grace      = flag.Duration("grace", 30*time.Second, "graceful-shutdown budget for in-flight requests")
@@ -160,7 +176,7 @@ func main() {
 	}
 	engine := shift.NewEngine(*parallel, rs)
 	engine.SetCellTimeout(*cellTmo)
-	jm := jobs.New(jobs.Config{
+	jcfg := jobs.Config{
 		Workers:   *jobWorkers,
 		MaxQueue:  *jobQueue,
 		Rate:      *jobRate,
@@ -168,10 +184,38 @@ func main() {
 		Run:       engine.RunOne,
 		Retries:   *jobRetries,
 		Transient: shift.IsTransient,
-	})
+	}
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			log.Fatalf("shiftd: %v", err)
+		}
+		journal, err := jobs.OpenWAL(filepath.Join(*stateDir, "jobs.wal"))
+		if err != nil {
+			// A corrupt journal interior fails loudly (wal.ErrCorrupt):
+			// replaying past it could silently drop accepted jobs. The
+			// operator keeps the evidence and decides; a torn tail — the
+			// one record in flight when the last process died — is
+			// discarded automatically and never reaches this path.
+			log.Fatalf("shiftd: %v", err)
+		}
+		jcfg.Journal = journal
+		jcfg.Lookup = rs.Lookup
+	}
+	jm, err := jobs.Open(jcfg)
+	if err != nil {
+		log.Fatalf("shiftd: %v", err)
+	}
 	defer jm.Close()
+	if rec := jm.Recovery(); *stateDir != "" {
+		log.Printf("shiftd: journal replayed: %d jobs re-admitted, %d already terminal, %d cells restored from the store, %d cells re-queued",
+			rec.JobsRecovered, rec.JobsTerminal, rec.CellsRestored, rec.CellsRequeued)
+		if rec.TailRecords > 0 {
+			log.Printf("shiftd: journal: discarded torn tail (%d record, %d bytes) from the previous crash", rec.TailRecords, rec.TailBytes)
+		}
+	}
 	srv := newServer(engine, rs, base, jm, *maxBody)
 	srv.streamHeartbeat = *streamBeat
+	srv.drainRetryAfter = int((*grace + time.Second - 1) / time.Second)
 	if bt := tiered.BlobTier(); bt != nil {
 		srv.blobs = store.NewBlobHandler(bt)
 		if rem, ok := bt.(*store.Remote); ok {
@@ -202,6 +246,19 @@ func main() {
 		defer coord.Close()
 		engine.SetExecutor(coord)
 		srv.cluster = coord
+		if *stateDir != "" {
+			persist, members, err := openMembership(filepath.Join(*stateDir, "cluster.wal"))
+			if err != nil {
+				log.Fatalf("shiftd: %v", err)
+			}
+			for _, m := range members {
+				coord.Join(m)
+			}
+			if len(members) > 0 {
+				log.Printf("shiftd: restored %d cluster members from %s", len(members), *stateDir)
+			}
+			srv.persistJoin = persist
+		}
 		log.Printf("shiftd coordinating %d workers (route: %s)", len(peerList), *route)
 	}
 	if *joinURL != "" {
@@ -226,13 +283,56 @@ func main() {
 		}
 	case <-ctx.Done():
 		stop() // a second signal kills immediately
-		log.Printf("shiftd: shutting down, waiting up to %s for in-flight requests", *grace)
+		log.Printf("shiftd: shutting down, draining jobs and in-flight requests for up to %s", *grace)
 		sctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
+		// Drain the job scheduler first, with the listener still open:
+		// new submissions get a clean 503 + Retry-After instead of a
+		// connection reset, status and stream endpoints keep serving
+		// while running cells finish and journal, and a complete drain
+		// checkpoints the queue. Only then does the listener close on
+		// whatever grace budget remains.
+		if err := jm.Drain(sctx); err != nil {
+			log.Printf("shiftd: drain interrupted: %v (unfinished cells recover on the next start)", err)
+		}
 		if err := hs.Shutdown(sctx); err != nil {
 			log.Printf("shiftd: shutdown: %v", err)
 		}
 	}
+}
+
+// openMembership opens (creating if absent) the persistent cluster
+// membership log: one record per first-time worker join, replayed at
+// boot so POST /v1/cluster/join survives a coordinator restart. The
+// returned persist function durably appends one address; replayed
+// addresses are compacted down to the deduplicated membership on open.
+func openMembership(path string) (persist func(addr string), members []string, err error) {
+	l, recs, _, err := wal.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	seen := make(map[string]bool, len(recs))
+	for _, rec := range recs {
+		addr := string(rec)
+		if !seen[addr] {
+			seen[addr] = true
+			members = append(members, addr)
+		}
+	}
+	if len(members) < len(recs) {
+		compact := make([][]byte, len(members))
+		for i, m := range members {
+			compact[i] = []byte(m)
+		}
+		if err := l.Rewrite(compact); err != nil {
+			return nil, nil, err
+		}
+	}
+	return func(addr string) {
+		if err := l.Append([]byte(addr)); err != nil {
+			log.Printf("shiftd: persisting cluster join %s: %v", addr, err)
+		}
+	}, members, nil
 }
 
 // announceJoin posts this worker's reachable base URL to the

@@ -48,10 +48,21 @@ type server struct {
 	blobs      http.Handler
 	remoteErrs func() int64
 
+	// persistJoin durably records a first-time cluster join (set when
+	// the coordinator runs with -state-dir, so membership learned via
+	// POST /v1/cluster/join survives a restart). nil = no persistence.
+	persistJoin func(addr string)
+
 	// streamHeartbeat is the idle-stream heartbeat period for
 	// /v1/jobs/{id}/stream (0 = 15s): an NDJSON "heartbeat" event keeps
 	// idle proxies from dropping a silent connection between cells.
 	streamHeartbeat time.Duration
+
+	// drainRetryAfter is the Retry-After value (whole seconds, >= 1)
+	// for submissions refused during graceful drain: the shutdown grace
+	// budget, after which a restarted or replacement process can accept
+	// the retry.
+	drainRetryAfter int
 }
 
 // newServer builds a server around a shared engine, its store, the base
@@ -438,6 +449,12 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Refuse before charging the admission bucket when shutdown has
+	// begun: the rejection is free to retry elsewhere.
+	if s.jobs.Draining() {
+		s.writeDraining(w)
+		return
+	}
 	d := s.jobs.Admit(clientKey(r), len(cells))
 	if d.Never {
 		writeError(w, http.StatusBadRequest,
@@ -445,12 +462,18 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !d.OK {
-		w.Header().Set("Retry-After", strconv.Itoa(int(d.RetryAfter/time.Second)))
+		w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(d.RetryAfter)))
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Errorf("admission bucket empty; retry in %s", d.RetryAfter))
 		return
 	}
-	j, err := s.jobs.Submit(cells)
+	j, err := s.jobs.SubmitFrom(clientKey(r), cells)
+	if errors.Is(err, jobs.ErrDraining) {
+		// The drain began between the check above and the submit; the
+		// answer is the same clean 503.
+		s.writeDraining(w)
+		return
+	}
 	if errors.Is(err, jobs.ErrQueueFull) {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -467,6 +490,31 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		StatusURL: "/v1/jobs/" + j.ID(),
 		StreamURL: "/v1/jobs/" + j.ID() + "/stream",
 	})
+}
+
+// writeDraining answers a submission during graceful shutdown: a clean
+// 503 with an integer Retry-After covering the drain grace, so clients
+// and proxies see an orderly refusal — never a connection reset — and
+// know when a restarted or replacement process can take the retry.
+func (s *server) writeDraining(w http.ResponseWriter) {
+	retry := s.drainRetryAfter
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	writeError(w, http.StatusServiceUnavailable,
+		errors.New("shutting down: draining running cells; retry against another instance or after restart"))
+}
+
+// retrySeconds renders a Retry-After duration as whole seconds,
+// rounded up to at least 1 — "Retry-After: 0" invites an immediate,
+// certainly-rejected retry.
+func retrySeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // jobStatusResponse is the GET /v1/jobs/{id} (and DELETE) reply:
@@ -865,7 +913,9 @@ func (s *server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("missing \"addr\""))
 		return
 	}
-	s.cluster.Join(req.Addr)
+	if s.cluster.Join(req.Addr) && s.persistJoin != nil {
+		s.persistJoin(req.Addr)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"workers": s.cluster.Members()})
 }
 
@@ -881,11 +931,18 @@ func (s *server) storeHealth() (shift.StoreHealth, bool) {
 
 // readyzResponse is the GET /v1/readyz reply.
 type readyzResponse struct {
-	// Status is "ready" (200) or "degraded" (503).
+	// Status is the lifecycle phase: "ready" (200), "recovering" (200:
+	// journal replay re-admitted jobs that are still re-running, the
+	// service is fully usable), "degraded" (503: serving but impaired),
+	// or "draining" (503: graceful shutdown in progress, running cells
+	// finishing, submissions refused).
 	Status string `json:"status"`
 	// Reasons lists each active degradation, one human-readable line
 	// per condition (degraded only).
 	Reasons []string `json:"reasons,omitempty"`
+	// Recovering is the number of recovered jobs still working toward a
+	// terminal state ("recovering" only).
+	Recovering int `json:"recovering,omitempty"`
 }
 
 // degradedReasons evaluates the readiness conditions: the store's
@@ -941,23 +998,37 @@ func degradedReasons(es shift.EngineStats, js jobs.Stats, health shift.StoreHeal
 }
 
 // handleReadyz serves GET /v1/readyz: 200 "ready" when the service is
-// operating at full fidelity, 503 "degraded" with explicit reasons when
-// it is still serving but impaired — the store breaker is open (results
-// are not being persisted), corrupt blobs sit in quarantine, or the
-// worker pool is saturated with queued work. Load balancers can stop
-// routing to a degraded replica while /v1/healthz stays green.
+// operating at full fidelity, 503 "draining" once graceful shutdown
+// has begun (stop routing here; running cells are finishing), 503
+// "degraded" with explicit reasons when it is still serving but
+// impaired — the store breaker is open (results are not being
+// persisted), corrupt blobs sit in quarantine, or the worker pool is
+// saturated with queued work — and 200 "recovering" while jobs
+// re-admitted by the journal replay are still re-running (fully
+// serving; the counter lets operators watch the backlog clear). Load
+// balancers can stop routing to a degraded replica while /v1/healthz
+// stays green.
 func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	js := s.jobs.Stats()
+	if js.Draining {
+		writeJSON(w, http.StatusServiceUnavailable, readyzResponse{Status: "draining"})
+		return
+	}
 	health, hasHealth := s.storeHealth()
 	var workers []cluster.MemberStatus
 	if s.cluster != nil {
 		workers = s.cluster.Members()
 	}
-	reasons := degradedReasons(s.engine.Stats(), s.jobs.Stats(), health, hasHealth, workers)
-	if len(reasons) == 0 {
-		writeJSON(w, http.StatusOK, readyzResponse{Status: "ready"})
+	reasons := degradedReasons(s.engine.Stats(), js, health, hasHealth, workers)
+	if len(reasons) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, readyzResponse{Status: "degraded", Reasons: reasons})
 		return
 	}
-	writeJSON(w, http.StatusServiceUnavailable, readyzResponse{Status: "degraded", Reasons: reasons})
+	if js.Recovering > 0 {
+		writeJSON(w, http.StatusOK, readyzResponse{Status: "recovering", Recovering: js.Recovering})
+		return
+	}
+	writeJSON(w, http.StatusOK, readyzResponse{Status: "ready"})
 }
 
 // statsResponse is the GET /v1/stats reply.
@@ -1021,6 +1092,15 @@ type statsResponse struct {
 	JobLatencyP50 float64 `json:"job_latency_p50_seconds"`
 	JobLatencyP90 float64 `json:"job_latency_p90_seconds"`
 	JobLatencyP99 float64 `json:"job_latency_p99_seconds"`
+	// Draining reports that graceful shutdown has begun; JobsRecovering
+	// counts recovered jobs still working toward a terminal state.
+	Draining       bool `json:"draining,omitempty"`
+	JobsRecovering int  `json:"jobs_recovering,omitempty"`
+	// Journal describes the write-ahead job journal (-state-dir only).
+	Journal *journalStatsResponse `json:"journal,omitempty"`
+	// Recovery reports what the journal replay at startup reconstructed
+	// (-state-dir only).
+	Recovery *recoveryStatsResponse `json:"recovery,omitempty"`
 	// RemoteStoreErrors counts failed operations against the remote
 	// blob store (transport errors and bad statuses), when the store's
 	// persistent tier is a remote peer (-store-url).
@@ -1028,6 +1108,38 @@ type statsResponse struct {
 	// Cluster carries the coordinator's routing and worker-health
 	// counters; absent when this process is not coordinating.
 	Cluster *clusterStatsResponse `json:"cluster,omitempty"`
+}
+
+// journalStatsResponse is the "journal" block of GET /v1/stats: the
+// write-ahead job journal's footprint and write-failure count.
+type journalStatsResponse struct {
+	// Records and Bytes describe the journal's current contents.
+	Records int   `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	// Compactions counts snapshot rewrites since the process started.
+	Compactions int64 `json:"compactions"`
+	// Errors counts journal writes that failed; the affected cells
+	// re-run on the next recovery.
+	Errors int64 `json:"errors"`
+}
+
+// recoveryStatsResponse is the "recovery" block of GET /v1/stats: what
+// the journal replay at startup reconstructed.
+type recoveryStatsResponse struct {
+	// JobsRecovered and JobsTerminal count replayed jobs re-admitted
+	// into the queue versus reconstructed already-terminal.
+	JobsRecovered int `json:"jobs_recovered"`
+	JobsTerminal  int `json:"jobs_terminal"`
+	// CellsRestored counts completed cells resolved from the result
+	// store without re-simulation; CellsRequeued, cells re-enqueued for
+	// execution.
+	CellsRestored int `json:"cells_restored"`
+	CellsRequeued int `json:"cells_requeued"`
+	// TornTailRecords and TornTailBytes report the partial append
+	// discarded from the journal at open (the record in flight when the
+	// previous process died).
+	TornTailRecords int   `json:"torn_tail_records"`
+	TornTailBytes   int64 `json:"torn_tail_bytes"`
 }
 
 // clusterStatsResponse is the "cluster" block of GET /v1/stats.
@@ -1072,6 +1184,25 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.remoteErrs != nil {
 		remoteErrs = s.remoteErrs()
 	}
+	var journal *journalStatsResponse
+	var recovery *recoveryStatsResponse
+	if jst, ok := s.jobs.JournalStats(); ok {
+		journal = &journalStatsResponse{
+			Records:     jst.Records,
+			Bytes:       jst.Bytes,
+			Compactions: jst.Compactions,
+			Errors:      js.JournalErrors,
+		}
+		rec := s.jobs.Recovery()
+		recovery = &recoveryStatsResponse{
+			JobsRecovered:   rec.JobsRecovered,
+			JobsTerminal:    rec.JobsTerminal,
+			CellsRestored:   rec.CellsRestored,
+			CellsRequeued:   rec.CellsRequeued,
+			TornTailRecords: rec.TailRecords,
+			TornTailBytes:   rec.TailBytes,
+		}
+	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSeconds:     time.Since(s.started).Seconds(),
 		Requests:          s.requests.Load(),
@@ -1099,6 +1230,10 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		JobLatencyP50:     js.LatencyP50,
 		JobLatencyP90:     js.LatencyP90,
 		JobLatencyP99:     js.LatencyP99,
+		Draining:          js.Draining,
+		JobsRecovering:    js.Recovering,
+		Journal:           journal,
+		Recovery:          recovery,
 		RemoteStoreErrors: remoteErrs,
 		Cluster:           cl,
 	})
@@ -1139,6 +1274,20 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	metric("shiftd_cells_panicked_total", "counter", "Simulation panics recovered into per-cell errors.", float64(es.Panicked))
 	metric("shiftd_cells_timed_out_total", "counter", "Cells abandoned by the watchdog with a timeout error.", float64(es.TimedOut))
 	metric("shiftd_job_cells_retried_total", "counter", "Transiently-failed job cells re-enqueued by the retry policy.", float64(js.Retried))
+	metric("shiftd_draining", "gauge", "1 while graceful shutdown is draining running cells, 0 otherwise.", boolGauge(js.Draining))
+	metric("shiftd_jobs_recovering", "gauge", "Recovered jobs still working toward a terminal state.", float64(js.Recovering))
+	if jst, ok := s.jobs.JournalStats(); ok {
+		rec := s.jobs.Recovery()
+		metric("shiftd_journal_records", "gauge", "Records currently in the write-ahead job journal.", float64(jst.Records))
+		metric("shiftd_journal_bytes", "gauge", "Size of the write-ahead job journal in bytes.", float64(jst.Bytes))
+		metric("shiftd_journal_compactions_total", "counter", "Journal snapshot rewrites since process start.", float64(jst.Compactions))
+		metric("shiftd_journal_errors_total", "counter", "Journal writes that failed (affected cells re-run on recovery).", float64(js.JournalErrors))
+		metric("shiftd_recovery_jobs_recovered", "gauge", "Incomplete jobs re-admitted by the journal replay at startup.", float64(rec.JobsRecovered))
+		metric("shiftd_recovery_jobs_terminal", "gauge", "Jobs replayed directly to a terminal state at startup.", float64(rec.JobsTerminal))
+		metric("shiftd_recovery_cells_restored", "gauge", "Journaled completed cells restored from the result store without re-simulation.", float64(rec.CellsRestored))
+		metric("shiftd_recovery_cells_requeued", "gauge", "Cells re-enqueued for execution by the journal replay.", float64(rec.CellsRequeued))
+		metric("shiftd_recovery_torn_tail_records", "gauge", "Torn journal records discarded at startup.", float64(rec.TailRecords))
+	}
 	if health, ok := s.storeHealth(); ok {
 		metric("shift_store_errors_total", "counter", "Disk-store IO failures after retries.", float64(health.Errors))
 		metric("shiftd_store_quarantined", "gauge", "Corrupt blobs moved into the quarantine directory.", float64(health.Quarantined))

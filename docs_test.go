@@ -21,9 +21,10 @@ import (
 // docLintDirs is the API surface under the doc-comment contract: the
 // root package, the store subsystem it re-exports backends from, the
 // async job subsystem behind shiftd's /v1/jobs API, the workload spec
-// compiler behind LoadSpec, the shared request validator, and the
-// cluster coordinator behind shiftd's -peers/-worker roles.
-var docLintDirs = []string{".", "internal/store", "internal/jobs", "internal/spec", "internal/validate", "internal/cluster"}
+// compiler behind LoadSpec, the shared request validator, the cluster
+// coordinator behind shiftd's -peers/-worker roles, and the
+// write-ahead log behind -state-dir durability.
+var docLintDirs = []string{".", "internal/store", "internal/jobs", "internal/spec", "internal/validate", "internal/cluster", "internal/wal"}
 
 // TestExportedSymbolsDocumented fails for every exported top-level
 // symbol, method, struct field, or interface method without a doc

@@ -273,23 +273,26 @@ func normalizeAddr(addr string) string {
 	return addr
 }
 
-// Join adds a worker to the membership (idempotent: re-joining an
-// existing address is a no-op). New members start Up — optimistic
-// routing discovers dead peers on the first dispatch or probe, which
-// is cheaper than blocking joins on a health check.
-func (c *Coordinator) Join(addr string) {
+// Join adds a worker to the membership, reporting whether the address
+// was new (idempotent: re-joining an existing address is a no-op and
+// returns false — callers persisting membership append first joins
+// only). New members start Up — optimistic routing discovers dead
+// peers on the first dispatch or probe, which is cheaper than blocking
+// joins on a health check.
+func (c *Coordinator) Join(addr string) bool {
 	addr = normalizeAddr(addr)
 	if addr == "" {
-		return
+		return false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, m := range c.members {
 		if m.addr == addr {
-			return
+			return false
 		}
 	}
 	c.members = append(c.members, &Member{addr: addr, state: Up})
+	return true
 }
 
 // Members returns a health snapshot of every worker, address-ordered.

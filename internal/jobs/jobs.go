@@ -27,6 +27,7 @@ package jobs
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -109,6 +110,18 @@ type Job struct {
 	cells   []shift.Cell
 	keys    []string
 	created time.Time
+	client  string
+	// wire is the journaled form of the cells (canonical Config JSON
+	// plus spec documents), kept so compaction snapshots and the
+	// original submit entry encode identically.
+	wire []EntryCell
+	// recovered marks a job rebuilt from the journal; its finalization
+	// decrements the manager's recovering count and is excluded from
+	// the latency percentiles (a latency spanning a process restart
+	// measures the outage, not the scheduler).
+	recovered bool
+	// eventWindow caps the in-memory event log (see EventsSince).
+	eventWindow int
 
 	mu        sync.Mutex
 	state     State
@@ -124,7 +137,17 @@ type Job struct {
 	started   time.Time
 	finished  time.Time
 	events    []Event
-	changed   chan struct{}
+	// eventsBase is the absolute index of events[0]: how many events
+	// the window has discarded. EventsSince positions are absolute, so
+	// trimming never shifts a follower's cursor.
+	eventsBase int
+	// order records the completion order of finished cells — one index
+	// per cell event ever appended. Four bytes per cell (versus a full
+	// buffered Event with its embedded RunResult) is what lets the
+	// window discard old events yet rebuild any trimmed prefix exactly:
+	// the payloads are recovered from the per-cell result slots.
+	order   []int32
+	changed chan struct{}
 }
 
 // ID returns the job's registry identifier.
@@ -192,20 +215,71 @@ func (j *Job) Snapshot() Status {
 	return st
 }
 
-// EventsSince returns the events appended at or after index n, whether
-// the job has reached a terminal state, and a channel closed on the
-// next change — so a streaming consumer can replay the log from the
-// beginning and then follow it live without polling.
+// EventsSince returns the events appended at or after absolute index
+// n, whether the job has reached a terminal state, and a channel
+// closed on the next change — so a streaming consumer can replay the
+// log from the beginning and then follow it live without polling.
+//
+// The in-memory log is a bounded window (Config.EventWindow): once a
+// huge grid has emitted more events than the window holds, the oldest
+// are discarded — each carries a full RunResult, so an unbounded log
+// would balloon RSS with the grid size. Positions stay absolute, so a
+// live follower's cursor is never shifted by trimming, and a cursor
+// that points into the discarded prefix is served by rebuilding those
+// events from the per-cell completion-order index and result slots —
+// byte-identical to the originals, in the original order. The stream
+// contract (one event per finished cell in completion order, then
+// exactly one end event, each delivered exactly once to a cursor-
+// advancing follower) therefore holds for every subscriber, however
+// late or slow.
 func (j *Job) EventsSince(n int) (evs []Event, terminal bool, changed <-chan struct{}) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if n < 0 {
 		n = 0
 	}
-	if n < len(j.events) {
-		evs = append([]Event(nil), j.events[n:]...)
+	if n < j.eventsBase {
+		// Rebuild the trimmed positions [n, eventsBase). Every trimmed
+		// event is a cell event (the end event is always the newest, so
+		// it is never trimmed) and order[p] is the cell that completed
+		// at position p.
+		evs = make([]Event, 0, j.eventsBase-n+len(j.events))
+		for _, idx := range j.order[n:j.eventsBase] {
+			evs = append(evs, j.cellEventLocked(int(idx)))
+		}
+		evs = append(evs, j.events...)
+	} else if k := n - j.eventsBase; k < len(j.events) {
+		evs = append([]Event(nil), j.events[k:]...)
 	}
 	return evs, j.state.Terminal(), j.changed
+}
+
+// cellEventLocked reconstructs finished cell i's event from its result
+// slot. Called with mu held.
+func (j *Job) cellEventLocked(i int) Event {
+	ev := Event{Type: EventCell, Index: i, Label: j.cells[i].Label, Key: j.keys[i]}
+	if j.cellState[i] == cellFailed {
+		ev.Err = j.cellErrs[i]
+	} else {
+		ev.Result = j.results[i]
+	}
+	return ev
+}
+
+// appendEventLocked appends one event and trims the window to the most
+// recent eventWindow events. Cell events are also recorded in the
+// completion-order index so a trimmed prefix stays reconstructible.
+// Called with mu held.
+func (j *Job) appendEventLocked(ev Event) {
+	if ev.Type == EventCell {
+		j.order = append(j.order, int32(ev.Index))
+	}
+	j.events = append(j.events, ev)
+	if j.eventWindow > 0 && len(j.events) > j.eventWindow {
+		drop := len(j.events) - j.eventWindow
+		j.events = append([]Event(nil), j.events[drop:]...)
+		j.eventsBase += drop
+	}
 }
 
 // broadcast wakes every EventsSince follower. Called with mu held.
@@ -251,7 +325,7 @@ func (j *Job) completeCell(i int, r shift.RunResult, err error, now time.Time) (
 		j.results[i] = r
 		ev.Result = r
 	}
-	j.events = append(j.events, ev)
+	j.appendEventLocked(ev)
 	finished, latency = j.maybeFinalize(now)
 	j.broadcast()
 	return finished, latency
@@ -274,7 +348,7 @@ func (j *Job) maybeFinalize(now time.Time) (bool, float64) {
 		j.state = StateDone
 	}
 	j.finished = now
-	j.events = append(j.events, Event{Type: EventEnd, State: j.state})
+	j.appendEventLocked(Event{Type: EventEnd, State: j.state})
 	return true, now.Sub(j.created).Seconds()
 }
 
@@ -309,6 +383,12 @@ var ErrQueueFull = errors.New("jobs: queue full")
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("jobs: manager closed")
 
+// ErrDraining is returned by Submit while the manager is draining:
+// shutdown has begun, running cells are finishing, and no new work is
+// admitted. The caller should retry against another instance or after
+// the process restarts.
+var ErrDraining = errors.New("jobs: draining")
+
 // Config parameterizes a Manager.
 type Config struct {
 	// Workers is the number of scheduler goroutines executing cells
@@ -339,6 +419,24 @@ type Config struct {
 	// failures — validation errors, panics — fail immediately). nil
 	// disables retry.
 	Transient func(error) bool
+	// Journal optionally makes accepted jobs durable: submissions,
+	// per-cell completions, cancellations, and finalizations are
+	// journaled, and Open replays the journal into a recovered job
+	// registry (see OpenWAL). nil — the default — keeps the manager
+	// purely in-memory, byte-for-byte the pre-durability behavior.
+	Journal Journal
+	// Lookup resolves a content-address against the result store
+	// during recovery (shiftd passes the store's Lookup): a journaled
+	// completed cell whose result is still stored is restored without
+	// re-simulation; a miss re-enqueues the cell — deterministic
+	// simulation makes the recomputed result bit-identical. nil treats
+	// every completed cell as a miss.
+	Lookup func(key string) (shift.RunResult, bool)
+	// EventWindow caps each job's in-memory event log: the most recent
+	// EventWindow events are kept verbatim and older ones are
+	// reconstructed on demand from cell state (see Job.EventsSince).
+	// 0 = 256; negative = unbounded.
+	EventWindow int
 	// Now supplies the clock (nil = time.Now; tests inject a fake).
 	Now func() time.Time
 }
@@ -349,19 +447,28 @@ type Manager struct {
 	cfg     Config
 	buckets *Buckets
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	heap   cellHeap
-	stale  int // heap entries for cells no longer runnable (cancelled)
-	seq    int64
-	nextID int64
-	jobs   map[string]*Job
-	closed bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	heap     cellHeap
+	stale    int // heap entries for cells no longer runnable (cancelled)
+	seq      int64
+	nextID   int64
+	jobs     map[string]*Job
+	closed   bool
+	draining bool
+	running  int // cells currently executing in workers
 
-	admitted  int64
-	rejected  int64
-	cancelled int64
-	retried   int64
+	// recoveredPending counts recovered non-terminal jobs that have not
+	// reached a terminal state since restart; shiftd reports the
+	// "recovering" readiness phase while it is nonzero.
+	recoveredPending int
+	recovery         RecoveryStats
+
+	admitted    int64
+	rejected    int64
+	cancelled   int64
+	retried     int64
+	journalErrs int64
 
 	// Completed-job latencies, a bounded ring feeding the percentile
 	// stats; count/sum cover every completed job regardless of ring
@@ -376,8 +483,25 @@ type Manager struct {
 const latencyRing = 1024
 
 // New returns a running manager with cfg.Workers scheduler goroutines.
-// Call Close to stop them.
+// Call Close to stop them. It panics if the journal replay fails; a
+// caller wiring a journal should use Open and handle the error.
 func New(cfg Config) *Manager {
+	m, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("jobs: %v", err))
+	}
+	return m
+}
+
+// Open returns a running manager with cfg.Workers scheduler
+// goroutines, first replaying cfg.Journal (when set) into the job
+// registry: terminal jobs are reconstructed, incomplete ones are
+// re-admitted into the queue with their already-completed cells
+// resolved through cfg.Lookup, and new job IDs are guaranteed not to
+// collide with journaled ones. Recovery happens before any worker
+// starts, so a recovered queue is scheduled exactly like a fresh one.
+// Call Close to stop the workers.
+func Open(cfg Config) (*Manager, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -393,6 +517,11 @@ func New(cfg Config) *Manager {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.EventWindow == 0 {
+		cfg.EventWindow = 256
+	} else if cfg.EventWindow < 0 {
+		cfg.EventWindow = 0 // unbounded
+	}
 	if cfg.Run == nil {
 		panic("jobs: Config.Run is required")
 	}
@@ -402,10 +531,15 @@ func New(cfg Config) *Manager {
 		jobs:    make(map[string]*Job),
 	}
 	m.cond = sync.NewCond(&m.mu)
+	if cfg.Journal != nil {
+		if err := m.recover(); err != nil {
+			return nil, err
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
 	}
-	return m
+	return m, nil
 }
 
 // Admit runs the token-bucket admission check for a job of cells cells
@@ -421,10 +555,20 @@ func (m *Manager) Admit(client string, cells int) Decision {
 	return d
 }
 
-// Submit registers a new job and enqueues its cells. It returns
-// ErrQueueFull when the queued-cell bound would be exceeded (the
-// rejection is counted) and ErrClosed after Close.
+// Submit registers a new job and enqueues its cells, like SubmitFrom
+// with an empty client key.
 func (m *Manager) Submit(cells []shift.Cell) (*Job, error) {
+	return m.SubmitFrom("", cells)
+}
+
+// SubmitFrom registers a new job from the given admission-control
+// client and enqueues its cells. It returns ErrQueueFull when the
+// queued-cell bound would be exceeded (the rejection is counted),
+// ErrDraining during graceful shutdown, and ErrClosed after Close.
+// With a journal configured the submission is journaled — durably —
+// before it is acknowledged; a journal write failure rejects the
+// submission rather than admitting a job that a restart would forget.
+func (m *Manager) SubmitFrom(client string, cells []shift.Cell) (*Job, error) {
 	if len(cells) == 0 {
 		return nil, errors.New("jobs: empty job")
 	}
@@ -434,25 +578,40 @@ func (m *Manager) Submit(cells []shift.Cell) (*Job, error) {
 	if m.closed {
 		return nil, ErrClosed
 	}
+	if m.draining {
+		m.rejected++
+		return nil, ErrDraining
+	}
 	if len(m.heap)-m.stale+len(cells) > m.cfg.MaxQueue {
 		m.rejected++
 		return nil, ErrQueueFull
 	}
 	m.nextID++
 	j := &Job{
-		id:        fmt.Sprintf("j-%06d", m.nextID),
-		cells:     append([]shift.Cell(nil), cells...),
-		keys:      make([]string, len(cells)),
-		created:   now,
-		state:     StateQueued,
-		cellState: make([]cellState, len(cells)),
-		attempts:  make([]int, len(cells)),
-		results:   make([]shift.RunResult, len(cells)),
-		cellErrs:  make([]string, len(cells)),
-		changed:   make(chan struct{}),
+		id:          fmt.Sprintf("j-%06d", m.nextID),
+		cells:       append([]shift.Cell(nil), cells...),
+		keys:        make([]string, len(cells)),
+		created:     now,
+		client:      client,
+		eventWindow: m.cfg.EventWindow,
+		state:       StateQueued,
+		cellState:   make([]cellState, len(cells)),
+		attempts:    make([]int, len(cells)),
+		results:     make([]shift.RunResult, len(cells)),
+		cellErrs:    make([]string, len(cells)),
+		changed:     make(chan struct{}),
 	}
 	for i := range j.cells {
 		j.keys[i] = j.cells[i].Config.Key()
+	}
+	if m.cfg.Journal != nil {
+		j.wire = entryCells(j.cells)
+		e := Entry{Op: OpSubmit, Job: j.id, Client: client, Created: now, Cells: j.wire}
+		if err := m.cfg.Journal.Append(e); err != nil {
+			m.nextID--
+			m.journalErrs++
+			return nil, fmt.Errorf("jobs: journal submit: %w", err)
+		}
 	}
 	m.jobs[j.id] = j
 	for i := range j.cells {
@@ -484,6 +643,12 @@ func (m *Manager) Cancel(id string) (*Job, bool) {
 		return nil, false
 	}
 	dropped, tookEffect, finished, lat := j.cancel(m.cfg.Now())
+	if tookEffect {
+		m.journalAppend(Entry{Op: OpCancel, Job: id})
+	}
+	if finished {
+		m.journalEnd(j)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stale += dropped
@@ -491,29 +656,191 @@ func (m *Manager) Cancel(id string) (*Job, bool) {
 		m.cancelled++
 	}
 	if finished {
-		m.recordLatencyLocked(lat)
+		m.jobFinishedLocked(j, lat)
 	}
 	return j, true
 }
 
 // Close stops the scheduler: queued cells are discarded and workers
 // exit; cells already running finish (and publish) in the background.
-// Jobs with discarded cells never reach a terminal state, so Close is
-// for process shutdown, not graceful drain.
+// Jobs with discarded cells never reach a terminal state in this
+// process — but with a journal their submissions persist, so a restart
+// recovers and finishes them. For a clean shutdown call Drain first.
+// The journal, if any, is closed; a cell still running when Close
+// returns fails its completion append (counted, never fatal) and is
+// simply re-run on recovery.
 func (m *Manager) Close() {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.closed = true
 	m.heap = nil
 	m.stale = 0
 	m.cond.Broadcast()
+	m.mu.Unlock()
+	if m.cfg.Journal != nil {
+		m.cfg.Journal.Close()
+	}
+}
+
+// Drain begins graceful shutdown and blocks until every running cell
+// has finished (and journaled) or ctx expires. While draining, workers
+// stop popping the queue — queued cells stay in the heap, and with a
+// journal their submissions are already durable, so they resume after
+// restart — and Submit fails with ErrDraining. After a complete drain
+// the journal is checkpointed, so the next boot replays one compact
+// snapshot instead of the full append history. Drain returns ctx.Err()
+// when the grace period expires first; the journal still holds
+// everything needed to recover the unfinished cells.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		m.cond.Broadcast()
+	}
+	stop := context.AfterFunc(ctx, func() {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+	defer stop()
+	for m.running > 0 && ctx.Err() == nil && !m.closed {
+		m.cond.Wait()
+	}
+	err := ctx.Err()
+	if err == nil {
+		m.checkpointLocked()
+	}
+	m.mu.Unlock()
+	return err
+}
+
+// Draining reports whether graceful shutdown has begun.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Checkpoint compacts the journal down to a snapshot of the current
+// job registry (one record per job). No-op without a journal.
+func (m *Manager) Checkpoint() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.checkpointLocked()
+}
+
+// checkpointLocked compacts the journal. Called with mu held. Cell
+// completions appended by workers between the snapshot's assembly and
+// the rewrite can be dropped (workers append without mu); replay is
+// idempotent and re-runs those cells, so the cost is recomputation,
+// never a lost job.
+func (m *Manager) checkpointLocked() {
+	if m.cfg.Journal == nil {
+		return
+	}
+	if err := m.cfg.Journal.Compact(m.snapshotEntriesLocked()); err != nil {
+		m.journalErrs++
+	}
+}
+
+// maybeCompactLocked compacts once the journal has accumulated enough
+// history that a snapshot would shrink it substantially: at least 64
+// records and at least 8× the live job count (a snapshot is one record
+// per job). Called with mu held.
+func (m *Manager) maybeCompactLocked() {
+	if m.cfg.Journal == nil {
+		return
+	}
+	if st := m.cfg.Journal.Stats(); st.Records >= 64 && st.Records >= 8*len(m.jobs) {
+		m.checkpointLocked()
+	}
+}
+
+// snapshotEntriesLocked folds the registry into one OpSnap entry per
+// job, ID-sorted for a deterministic snapshot. Called with mu held.
+func (m *Manager) snapshotEntriesLocked() []Entry {
+	ids := make([]string, 0, len(m.jobs))
+	for id := range m.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	entries := make([]Entry, 0, len(ids))
+	for _, id := range ids {
+		entries = append(entries, m.jobs[id].snapEntry())
+	}
+	return entries
+}
+
+// snapEntry folds the job's journaled history into one OpSnap record.
+func (j *Job) snapEntry() Entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.wire == nil {
+		j.wire = entryCells(j.cells)
+	}
+	e := Entry{Op: OpSnap, Job: j.id, Client: j.client, Created: j.created,
+		Cells: j.wire, Cancelled: j.cancelled}
+	if j.state.Terminal() {
+		e.State = j.state
+	}
+	for i, cs := range j.cellState {
+		switch cs {
+		case cellDone:
+			e.Ops = append(e.Ops, CellOp{Cell: i})
+		case cellFailed:
+			e.Ops = append(e.Ops, CellOp{Cell: i, Err: j.cellErrs[i]})
+		}
+	}
+	return e
+}
+
+// journalAppend appends one entry, counting (never propagating) the
+// failure: the job still completes in memory, and recovery re-runs
+// whatever the journal missed. Must not be called with mu held.
+func (m *Manager) journalAppend(e Entry) {
+	if m.cfg.Journal == nil {
+		return
+	}
+	if err := m.cfg.Journal.Append(e); err != nil {
+		m.mu.Lock()
+		m.journalErrs++
+		m.mu.Unlock()
+	}
+}
+
+// journalEnd journals a job's terminal state. Must not be called with
+// mu held.
+func (m *Manager) journalEnd(j *Job) {
+	if m.cfg.Journal == nil {
+		return
+	}
+	j.mu.Lock()
+	st := j.state
+	j.mu.Unlock()
+	m.journalAppend(Entry{Op: OpEnd, Job: j.id, State: st})
+}
+
+// jobFinishedLocked records a job reaching a terminal state: recovered
+// jobs decrement the recovering count and are excluded from the
+// latency percentiles (their latency would measure the outage, not the
+// scheduler); fresh jobs record their latency. Called with mu held.
+func (m *Manager) jobFinishedLocked(j *Job, lat float64) {
+	if j.recovered {
+		if m.recoveredPending > 0 {
+			m.recoveredPending--
+		}
+		return
+	}
+	m.recordLatencyLocked(lat)
 }
 
 // worker pops the cheapest runnable cell and executes it, forever.
+// While the manager drains, workers idle instead of popping — the heap
+// is preserved for the journal checkpoint — and running cells finish
+// normally.
 func (m *Manager) worker() {
 	for {
 		m.mu.Lock()
-		for len(m.heap) == 0 && !m.closed {
+		for (len(m.heap) == 0 || m.draining) && !m.closed {
 			m.cond.Wait()
 		}
 		if m.closed {
@@ -527,16 +854,35 @@ func (m *Manager) worker() {
 			m.mu.Unlock()
 			continue
 		}
+		m.running++
 		m.mu.Unlock()
 		r, err := m.cfg.Run(it.job.cells[it.cell].Config)
 		if err != nil && m.retryable(err) && m.requeue(it.job, it.cell) {
 			continue
 		}
-		if finished, lat := it.job.completeCell(it.cell, r, err, m.cfg.Now()); finished {
-			m.mu.Lock()
-			m.recordLatencyLocked(lat)
-			m.mu.Unlock()
+		// Journal the outcome before publishing it: once a follower has
+		// seen the completion event, a restart must not forget it. The
+		// result itself is already in the store (the engine seeded it
+		// during Run), so the journal carries only the index and error.
+		e := Entry{Op: OpCell, Job: it.job.id, Cell: it.cell}
+		if err != nil {
+			e.Err = err.Error()
 		}
+		m.journalAppend(e)
+		finished, lat := it.job.completeCell(it.cell, r, err, m.cfg.Now())
+		if finished {
+			m.journalEnd(it.job)
+		}
+		m.mu.Lock()
+		m.running--
+		if finished {
+			m.jobFinishedLocked(it.job, lat)
+		}
+		m.maybeCompactLocked()
+		if m.running == 0 {
+			m.cond.Broadcast() // wake a Drain waiter
+		}
+		m.mu.Unlock()
 	}
 }
 
@@ -549,8 +895,10 @@ func (m *Manager) retryable(err error) bool {
 // requeue puts a transiently-failed running cell back on the queue,
 // consuming one of its retry attempts. It refuses — so the failure is
 // recorded normally — when the cell's attempts are exhausted, the job
-// was cancelled, or the manager is closed. Locks nest Manager.mu →
-// Job.mu, the same order the worker's pop-then-start path uses.
+// was cancelled, or the manager is closed. Requeue is allowed during a
+// drain: the cell re-enters the heap, is checkpointed as unresolved,
+// and re-runs after restart. Locks nest Manager.mu → Job.mu, the same
+// order the worker's pop-then-start path uses.
 func (m *Manager) requeue(j *Job, i int) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -569,6 +917,7 @@ func (m *Manager) requeue(j *Job, i int) bool {
 	m.seq++
 	heap.Push(&m.heap, cellItem{job: j, cell: i, cost: EstimateCost(j.cells[i].Config), seq: m.seq})
 	m.retried++
+	m.running--
 	m.cond.Broadcast()
 	return true
 }
@@ -602,6 +951,16 @@ type Stats struct {
 	// Retried counts cell re-enqueues by the transient-retry policy
 	// (one per consumed attempt, across all jobs).
 	Retried int64
+	// Running is the number of cells currently executing in workers.
+	Running int
+	// Draining reports that graceful shutdown has begun.
+	Draining bool
+	// Recovering is the number of recovered jobs that have not reached
+	// a terminal state since restart.
+	Recovering int
+	// JournalErrors counts journal writes that failed (the affected
+	// cells re-run on the next recovery; the jobs still completed).
+	JournalErrors int64
 	// LatencyCount and LatencySum aggregate submit-to-finish latencies
 	// (seconds) over every job that reached a terminal state.
 	LatencyCount int64
@@ -617,18 +976,39 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Stats{
-		QueueDepth:   len(m.heap) - m.stale,
-		Admitted:     m.admitted,
-		Rejected:     m.rejected,
-		Cancelled:    m.cancelled,
-		Retried:      m.retried,
-		LatencyCount: m.latCount,
-		LatencySum:   m.latSum,
+		QueueDepth:    len(m.heap) - m.stale,
+		Admitted:      m.admitted,
+		Rejected:      m.rejected,
+		Cancelled:     m.cancelled,
+		Retried:       m.retried,
+		Running:       m.running,
+		Draining:      m.draining,
+		Recovering:    m.recoveredPending,
+		JournalErrors: m.journalErrs,
+		LatencyCount:  m.latCount,
+		LatencySum:    m.latSum,
 	}
 	s.LatencyP50 = percentile(m.latencies, 0.50)
 	s.LatencyP90 = percentile(m.latencies, 0.90)
 	s.LatencyP99 = percentile(m.latencies, 0.99)
 	return s
+}
+
+// Recovery returns the recovery counters from the journal replay at
+// Open (all zero without a journal or on a fresh state dir).
+func (m *Manager) Recovery() RecoveryStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recovery
+}
+
+// JournalStats reports the journal's current footprint; ok is false
+// when no journal is configured.
+func (m *Manager) JournalStats() (st JournalStats, ok bool) {
+	if m.cfg.Journal == nil {
+		return JournalStats{}, false
+	}
+	return m.cfg.Journal.Stats(), true
 }
 
 // percentile returns the nearest-rank q-percentile of samples (0 when

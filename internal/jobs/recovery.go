@@ -1,0 +1,201 @@
+package jobs
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"shift"
+)
+
+// This file is journal replay: Open calls recover before any worker
+// goroutine exists, so everything here runs single-threaded and
+// touches Job fields without locking.
+
+// RecoveryStats counts what the journal replay at Open reconstructed,
+// surfaced through shiftd's /v1/stats and /v1/metrics.
+type RecoveryStats struct {
+	// JobsRecovered is the number of incomplete jobs re-admitted into
+	// the queue.
+	JobsRecovered int
+	// JobsTerminal is the number of jobs replayed directly to a
+	// terminal state (done, failed, or cancelled before the restart).
+	JobsTerminal int
+	// CellsRestored is the number of journaled completed cells whose
+	// results were resolved from the result store without
+	// re-simulation.
+	CellsRestored int
+	// CellsRequeued is the number of cells re-enqueued for execution:
+	// never finished before the crash, or finished but evicted from the
+	// store since (re-running them reproduces the identical result).
+	CellsRequeued int
+	// TailRecords reports the torn tail the journal discarded at open —
+	// the append in flight when the previous process died.
+	TailRecords int
+	// TailBytes is the size of that discarded tail.
+	TailBytes int64
+}
+
+// recover replays the journal into the registry. Replay is idempotent
+// (duplicate submit or cell entries are no-ops) and order-tolerant:
+// terminal states are recomputed from the cell entries, so OpEnd
+// records are advisory and a crash between a cell entry and its end
+// entry loses nothing.
+func (m *Manager) recover() error {
+	entries, err := m.cfg.Journal.Replay()
+	if err != nil {
+		return fmt.Errorf("jobs: journal replay: %w", err)
+	}
+	js := m.cfg.Journal.Stats()
+	m.recovery.TailRecords = js.TailRecords
+	m.recovery.TailBytes = js.TailBytes
+	for _, e := range entries {
+		if e.Op == OpSnap {
+			// A compacted job expands to its primitive ops.
+			m.applyEntry(Entry{Op: OpSubmit, Job: e.Job, Client: e.Client, Created: e.Created, Cells: e.Cells})
+			for _, op := range e.Ops {
+				m.applyEntry(Entry{Op: OpCell, Job: e.Job, Cell: op.Cell, Err: op.Err})
+			}
+			if e.Cancelled {
+				m.applyEntry(Entry{Op: OpCancel, Job: e.Job})
+			}
+			continue
+		}
+		m.applyEntry(e)
+	}
+	m.finishRecovery()
+	return nil
+}
+
+// applyEntry folds one journal record into the registry.
+func (m *Manager) applyEntry(e Entry) {
+	switch e.Op {
+	case OpSubmit:
+		if _, ok := m.jobs[e.Job]; ok {
+			return
+		}
+		cells := make([]shift.Cell, len(e.Cells))
+		for i, ec := range e.Cells {
+			if len(ec.Spec) > 0 {
+				// Re-register the spec-compiled workload so the config's
+				// "spec:" ID resolves in this process. Registration is
+				// content-addressed, so replaying it twice is a no-op; a
+				// document that no longer compiles leaves the ID dangling
+				// and the cell fails loudly at run time.
+				shift.LoadSpec(ec.Spec)
+			}
+			cells[i] = shift.Cell{Label: ec.Label, Config: ec.Config}
+		}
+		j := &Job{
+			id:          e.Job,
+			cells:       cells,
+			keys:        make([]string, len(cells)),
+			created:     e.Created,
+			client:      e.Client,
+			wire:        e.Cells,
+			recovered:   true,
+			eventWindow: m.cfg.EventWindow,
+			state:       StateQueued,
+			cellState:   make([]cellState, len(cells)),
+			attempts:    make([]int, len(cells)),
+			results:     make([]shift.RunResult, len(cells)),
+			cellErrs:    make([]string, len(cells)),
+			changed:     make(chan struct{}),
+		}
+		for i := range cells {
+			j.keys[i] = cells[i].Config.Key()
+		}
+		m.jobs[e.Job] = j
+		// New IDs must never collide with journaled ones.
+		var n int64
+		if _, err := fmt.Sscanf(e.Job, "j-%d", &n); err == nil && n > m.nextID {
+			m.nextID = n
+		}
+	case OpCell:
+		j, ok := m.jobs[e.Job]
+		if !ok || e.Cell < 0 || e.Cell >= len(j.cells) {
+			return
+		}
+		if j.cellState[e.Cell] == cellDone || j.cellState[e.Cell] == cellFailed {
+			return // duplicate entry; replay is idempotent
+		}
+		if e.Err != "" {
+			// The failure was deterministic (transient errors are retried,
+			// not journaled as terminal): replay it rather than re-run it.
+			j.cellState[e.Cell] = cellFailed
+			j.failed++
+			j.cellErrs[e.Cell] = e.Err
+			j.appendEventLocked(Event{Type: EventCell, Index: e.Cell,
+				Label: j.cells[e.Cell].Label, Key: j.keys[e.Cell], Err: e.Err})
+			return
+		}
+		// A completed cell's result lives content-addressed in the
+		// store; a hit restores it without re-simulation, a miss leaves
+		// the cell queued — deterministic simulation makes the re-run
+		// bit-identical.
+		if m.cfg.Lookup != nil {
+			if r, ok := m.cfg.Lookup(j.keys[e.Cell]); ok {
+				j.cellState[e.Cell] = cellDone
+				j.completed++
+				j.results[e.Cell] = r
+				j.appendEventLocked(Event{Type: EventCell, Index: e.Cell,
+					Label: j.cells[e.Cell].Label, Key: j.keys[e.Cell], Result: r})
+				m.recovery.CellsRestored++
+				return
+			}
+		}
+		// Store miss: the cell stays cellQueued and finishRecovery
+		// re-enqueues it.
+	case OpCancel:
+		if j, ok := m.jobs[e.Job]; ok {
+			j.cancelled = true
+		}
+	case OpEnd:
+		// Advisory: the terminal state is recomputed from the cell ops.
+	}
+}
+
+// finishRecovery settles every replayed job — dropping queued cells of
+// cancelled jobs, finalizing jobs whose cells all resolved, and
+// re-enqueuing the rest — in ID order so the recovered queue's
+// tie-break sequence is deterministic.
+func (m *Manager) finishRecovery() {
+	ids := make([]string, 0, len(m.jobs))
+	for id := range m.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	now := m.cfg.Now()
+	for _, id := range ids {
+		j := m.jobs[id]
+		if j.cancelled {
+			for i, cs := range j.cellState {
+				if cs == cellQueued {
+					j.cellState[i] = cellDropped
+					j.dropped++
+				}
+			}
+		}
+		if finished, _ := j.maybeFinalize(now); finished {
+			m.recovery.JobsTerminal++
+			continue
+		}
+		if j.completed+j.failed > 0 {
+			j.state = StateRunning
+			j.started = j.created
+		}
+		m.recovery.JobsRecovered++
+		m.recoveredPending++
+		// Re-enqueue the unresolved cells. Recovery ignores the MaxQueue
+		// bound: these cells were admitted before the restart, and
+		// refusing them now would strand their jobs.
+		for i, cs := range j.cellState {
+			if cs != cellQueued {
+				continue
+			}
+			m.seq++
+			heap.Push(&m.heap, cellItem{job: j, cell: i, cost: EstimateCost(j.cells[i].Config), seq: m.seq})
+			m.recovery.CellsRequeued++
+		}
+	}
+}

@@ -30,6 +30,12 @@ const footerMarker = "\n#crc32c:"
 // and most storage checksums — hardware-accelerated on amd64/arm64).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// Checksum returns the CRC-32C (Castagnoli) checksum of b — the same
+// polynomial the blob integrity footers use, exported so other
+// durability layers (internal/wal's record footers) share one table
+// and one on-disk checksum convention.
+func Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
 // Quarantiner is the optional Blobs extension for isolating corrupt
 // blobs: Quarantine moves the blob stored under key aside (out of the
 // visible keyspace, but preserved for inspection) so the corruption is
